@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestQuickSweepAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run([]string{"-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleExperimentSelection(t *testing.T) {
+	for _, exp := range []string{"T1", "T2", "E1"} {
+		if err := run([]string{"-quick", "-exp", exp}); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command podsc is the PODS compiler driver: it compiles an Idlite source
+// file through the frontend, Translator and Partitioner and prints the
+// partitioning report and (optionally) the Subcompact Process disassembly.
+//
+// Usage:
+//
+//	podsc [-no-dist] [-listing] prog.id
+//	podsc -builtin simple -listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/simple"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "podsc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("podsc", flag.ContinueOnError)
+	noDist := fs.Bool("no-dist", false, "disable loop distribution (ablation)")
+	listing := fs.Bool("listing", false, "print the SP disassembly")
+	builtin := fs.String("builtin", "", "compile a built-in program: simple | conduction | matmul")
+	out := fs.String("o", "", "write the compiled program to a .pods file")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	var name, src string
+	switch {
+	case *builtin != "":
+		name = *builtin + ".id"
+		switch *builtin {
+		case "simple":
+			src = simple.Source
+		case "conduction":
+			src = simple.ConductionSource
+		case "matmul":
+			src = bench.MatmulSource
+		default:
+			return fmt.Errorf("unknown builtin %q", *builtin)
+		}
+	case fs.NArg() == 1:
+		name = fs.Arg(0)
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("usage: podsc [-no-dist] [-listing] prog.id")
+	}
+
+	sys, err := core.CompileSource(name, src, core.Options{DisableDistribution: *noDist})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d SP templates\n\n", name, len(sys.Program.Templates))
+	fmt.Print(sys.Report.String())
+	if *listing {
+		fmt.Println()
+		fmt.Print(sys.Listing())
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := isa.WritePods(f, sys.Program); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestCompileBuiltins(t *testing.T) {
+	for _, b := range []string{"simple", "conduction", "matmul"} {
+		if err := run([]string{"-builtin", b}); err != nil {
+			t.Errorf("builtin %s: %v", b, err)
+		}
+	}
+}
+
+func TestCompileFileAndEmitPods(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.id")
+	out := filepath.Join(dir, "p.pods")
+	prog := `
+func main(n: int) {
+	A = array(n);
+	for i = 1 to n {
+		A[i] = float(i);
+	}
+}`
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-listing", "-o", out, src}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := isa.ReadPods(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Templates) != 2 {
+		t.Errorf("templates = %d, want 2", len(p.Templates))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if err := run([]string{"-builtin", "nope"}); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+	if err := run([]string{"/does/not/exist.id"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+}

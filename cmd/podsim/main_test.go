@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSimulateBuiltinMatmul(t *testing.T) {
+	if err := run([]string{"-builtin", "matmul", "-pes", "4", "-args", "6", "-dump", "C"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateVariantFlags(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-no-dist"},
+		{"-stall"},
+		{"-no-cache"},
+		{"-page", "16"},
+		{"-perpe"},
+	} {
+		args := append([]string{"-builtin", "conduction", "-pes", "2", "-args", "8"}, extra...)
+		if err := run(args); err != nil {
+			t.Errorf("%v: %v", extra, err)
+		}
+	}
+}
+
+func TestSimulatePodsFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.id")
+	prog := `
+func main(n: int) -> int {
+	s = 0;
+	for k = 1 to n {
+		next s = s + k;
+	}
+	return s;
+}`
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-pes", "2", "-args", "10", src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if err := run([]string{"-builtin", "nope"}); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+	if err := run([]string{"-builtin", "matmul", "-args", "x"}); err == nil {
+		t.Error("bad args accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("no input accepted")
+	}
+	// Wrong argument count for main.
+	if err := run([]string{"-builtin", "matmul"}); err == nil {
+		t.Error("missing main args accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Matmul: the paper's generic example (§5.2). A dense matrix multiply is
+// written in Idlite with a loop-carried inner product; PODS distributes the
+// outer loop over the rows of C (following C's partitioning) and keeps the
+// k-loop serial. The example prints the speed-up curve and verifies the
+// product numerically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pods "repro"
+)
+
+const src = `
+func main(n: int) {
+	A = array(n, n);
+	B = array(n, n);
+	for i = 1 to n {
+		for j = 1 to n {
+			A[i, j] = float(i + j);
+			B[i, j] = float(i - j) * 0.5;
+		}
+	}
+	C = array(n, n);
+	for i2 = 1 to n {
+		for j2 = 1 to n {
+			s = 0.0;
+			for k = 1 to n {
+				next s = s + A[i2, k] * B[k, j2];
+			}
+			C[i2, j2] = s;
+		}
+	}
+}
+`
+
+func main() {
+	const n = 24
+	p, err := pods.Compile("matmul.id", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(p.PartitionReport())
+	fmt.Println()
+
+	var base float64
+	for _, pes := range []int{1, 2, 4, 8, 16} {
+		res, err := p.Simulate(pods.SimConfig{NumPEs: pes}, pods.Int(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Seconds()
+		}
+		fmt.Printf("%2d PEs: %9.3f ms   speed-up %5.2f   (local reads %d, remote %d, cache hits %d)\n",
+			pes, res.Seconds()*1000, base/res.Seconds(),
+			res.Counts.LocalReads, res.Counts.RemoteReads, res.Counts.CacheHits)
+
+		// Verify against a plain Go multiply.
+		vals, mask, _, err := res.Array("C")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				want := 0.0
+				for k := 1; k <= n; k++ {
+					want += float64(i+k) * float64(k-j) * 0.5
+				}
+				off := (i-1)*n + j - 1
+				if !mask[off] || vals[off] != want {
+					log.Fatalf("C[%d,%d] = %v (written=%v), want %v", i, j, vals[off], mask[off], want)
+				}
+			}
+		}
+	}
+	fmt.Println("\nproduct verified against a native Go multiply at every PE count")
+}

@@ -1,0 +1,104 @@
+// Pipeline: PODS has no barriers — consecutive phases synchronize element
+// by element through I-structure availability. Whenever an SP blocks (here:
+// the producer waits for an equation-of-state function result on every
+// element), the PE switches to another ready SP — including *consumer*
+// iterations of the next phase. Consumers therefore run ahead of producers
+// and hit not-yet-written elements; the I-structure memory queues those
+// reads and releases them when the write lands. The deferred-read count is
+// direct, machine-checked evidence of cross-phase overlap that a
+// bulk-synchronous system (barrier between phases) has at exactly zero.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	pods "repro"
+)
+
+const src = `
+# An "expensive" per-element model evaluation: the call makes the producer
+# block on each element, letting other SPs (including phase-2 consumers)
+# use the Execution Unit meanwhile.
+func model(x: float) -> float {
+	return sqrt(x * x + 1.0) * 0.5;
+}
+
+func main(n: int) {
+	# Phase 1: produce A (row-distributed), one model() call per element.
+	A = array(n, n);
+	for i = 1 to n {
+		for j = 1 to n {
+			A[i, j] = model(float(i + j));
+		}
+	}
+	# Phase 2: consume A into B element-wise with a left neighbour.
+	B = array(n, n);
+	for i2 = 1 to n {
+		for j2 = 1 to n {
+			left = if j2 == 1 then A[i2, j2] else A[i2, j2 - 1];
+			B[i2, j2] = A[i2, j2] + 0.5 * left;
+		}
+	}
+	# Phase 3: reduce each row of B.
+	R = array(n);
+	for i3 = 1 to n {
+		s = 0.0;
+		for k = 1 to n {
+			next s = s + B[i3, k];
+		}
+		R[i3] = s;
+	}
+}
+`
+
+func main() {
+	const n = 32
+	p, err := pods.Compile("pipeline.id", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(p.PartitionReport())
+	fmt.Println()
+
+	for _, pes := range []int{1, 4, 16} {
+		res, err := p.Simulate(pods.SimConfig{NumPEs: pes}, pods.Int(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2d PEs: %9.3f ms   deferred reads %5d   ctx switches %6d\n",
+			pes, res.Seconds()*1000, res.Counts.DeferredReads, res.Counts.CtxSwitches)
+	}
+
+	// Verify the final reduction against plain Go.
+	res, err := p.Simulate(pods.SimConfig{NumPEs: 8}, pods.Int(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Counts.DeferredReads == 0 {
+		log.Fatal("expected consumers to outrun producers (deferred reads > 0)")
+	}
+	rvals, mask, _, err := res.Array("R")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := func(x float64) float64 { return math.Sqrt(x*x+1.0) * 0.5 }
+	a := func(i, j int) float64 { return model(float64(i + j)) }
+	for i := 1; i <= n; i++ {
+		want := 0.0
+		for j := 1; j <= n; j++ {
+			left := a(i, j)
+			if j > 1 {
+				left = a(i, j-1)
+			}
+			want += a(i, j) + 0.5*left
+		}
+		if !mask[i-1] || rvals[i-1] != want {
+			log.Fatalf("R[%d]=%v (written=%v), want %v", i, rvals[i-1], mask[i-1], want)
+		}
+	}
+	fmt.Println("\nrow reductions verified against plain Go")
+	fmt.Println("deferred reads > 0: phase-2/3 consumers were queued on elements their")
+	fmt.Println("producers had not written yet — the phases truly overlap, no barriers")
+}

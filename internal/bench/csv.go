@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV writers for the figure data, so results can be re-plotted without
+// parsing the human-readable tables.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// WriteCSV emits Figure 8 as unit,pes,utilization rows.
+func (r *F8Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, u := range r.Units {
+		for pi, p := range r.PEs {
+			rows = append(rows, []string{u, strconv.Itoa(p), fmtF(r.Util[u][pi])})
+		}
+	}
+	return writeCSV(w, []string{"unit", "pes", "utilization"}, rows)
+}
+
+// WriteCSV emits Figure 9 as size,pes,eu_utilization rows.
+func (r *F9Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for si, n := range r.Sizes {
+		for pi, p := range r.PEs {
+			rows = append(rows, []string{strconv.Itoa(n), strconv.Itoa(p), fmtF(r.Util[si][pi])})
+		}
+	}
+	return writeCSV(w, []string{"size", "pes", "eu_utilization"}, rows)
+}
+
+// WriteCSV emits Figure 10 as series,pes,speedup,seconds rows (the P&R
+// baseline appears as series "PR<size>").
+func (r *F10Result) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for si, n := range r.Sizes {
+		for pi, p := range r.PEs {
+			rows = append(rows, []string{
+				strconv.Itoa(n), strconv.Itoa(p),
+				fmtF(r.Speedup[si][pi]), fmtF(r.Times[si][pi]),
+			})
+		}
+	}
+	for pi, p := range r.PEs {
+		rows = append(rows, []string{
+			"PR" + strconv.Itoa(r.PRSize), strconv.Itoa(p),
+			fmtF(r.PRSpeedup[pi]), "",
+		})
+	}
+	return writeCSV(w, []string{"series", "pes", "speedup", "seconds"}, rows)
+}

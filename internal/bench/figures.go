@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// F8Result is Figure 8: average utilization of each functional unit for a
+// 16×16 SIMPLE as the PE count grows.
+type F8Result struct {
+	N     int
+	PEs   []int
+	Units []string
+	// Util[unit][peIdx] in [0,1].
+	Util map[string][]float64
+}
+
+// Figure8 regenerates Figure 8.
+func Figure8(n int, peCounts []int) (*F8Result, error) {
+	r := &F8Result{
+		N: n, PEs: peCounts,
+		Units: []string{"EU", "MU", "RU", "AM", "MM"},
+		Util:  make(map[string][]float64),
+	}
+	for _, pes := range peCounts {
+		res, err := RunSimple(n, pes, VariantPODS)
+		if err != nil {
+			return nil, fmt.Errorf("figure 8 (PEs=%d): %w", pes, err)
+		}
+		for _, u := range r.Units {
+			r.Util[u] = append(r.Util[u], res.Utilization(u))
+		}
+	}
+	return r, nil
+}
+
+// Format renders the figure as an aligned table.
+func (r *F8Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8 — average utilization of each functional unit (SIMPLE %dx%d)\n", r.N, r.N)
+	fmt.Fprintf(&b, "paper: EU is by far the most utilized unit at every PE count;\n")
+	fmt.Fprintf(&b, "       all supporting units are lightly loaded (no special hardware needed)\n\n")
+	fmt.Fprintf(&b, "%-6s", "unit")
+	for _, p := range r.PEs {
+		fmt.Fprintf(&b, "%8dPE", p)
+	}
+	b.WriteByte('\n')
+	for _, u := range r.Units {
+		label := u
+		if u == "MU" {
+			label = "MU(MS)"
+		}
+		fmt.Fprintf(&b, "%-6s", label)
+		for _, v := range r.Util[u] {
+			fmt.Fprintf(&b, "%9.1f%%", 100*v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// F9Result is Figure 9: EU utilization per problem size and PE count.
+type F9Result struct {
+	Sizes []int
+	PEs   []int
+	// Util[sizeIdx][peIdx].
+	Util [][]float64
+}
+
+// Figure9 regenerates Figure 9.
+func Figure9(sizes, peCounts []int) (*F9Result, error) {
+	r := &F9Result{Sizes: sizes, PEs: peCounts}
+	for _, n := range sizes {
+		var row []float64
+		for _, pes := range peCounts {
+			res, err := RunSimple(n, pes, VariantPODS)
+			if err != nil {
+				return nil, fmt.Errorf("figure 9 (%dx%d, PEs=%d): %w", n, n, pes, err)
+			}
+			row = append(row, res.Utilization("EU"))
+		}
+		r.Util = append(r.Util, row)
+	}
+	return r, nil
+}
+
+// Format renders the figure.
+func (r *F9Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9 — Execution Unit utilization for SIMPLE\n")
+	fmt.Fprintf(&b, "paper: utilization falls with PE count; larger problems sustain more\n")
+	fmt.Fprintf(&b, "       (64x64: ~70%% at 1 PE down to ~50%% at 32 PEs)\n\n")
+	fmt.Fprintf(&b, "%-8s", "size")
+	for _, p := range r.PEs {
+		fmt.Fprintf(&b, "%8dPE", p)
+	}
+	b.WriteByte('\n')
+	for i, n := range r.Sizes {
+		fmt.Fprintf(&b, "%-8s", fmt.Sprintf("%dx%d", n, n))
+		for _, v := range r.Util[i] {
+			fmt.Fprintf(&b, "%9.1f%%", 100*v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// F10Result is Figure 10: speed-up of SIMPLE per problem size, with the
+// Pingali & Rogers control-driven baseline at the largest size.
+type F10Result struct {
+	Sizes []int
+	PEs   []int
+	// Speedup[sizeIdx][peIdx] = T(1)/T(p).
+	Speedup [][]float64
+	// PRSize / PRSpeedup: the baseline curve (paper plots P&R at 64×64).
+	PRSize    int
+	PRSpeedup []float64
+	// Times[sizeIdx][peIdx] = virtual seconds.
+	Times [][]float64
+}
+
+// Figure10 regenerates Figure 10.
+func Figure10(sizes, peCounts []int) (*F10Result, error) {
+	r := &F10Result{Sizes: sizes, PEs: peCounts}
+	for _, n := range sizes {
+		var base *sim.Result
+		var sp, tm []float64
+		for _, pes := range peCounts {
+			res, err := RunSimple(n, pes, VariantPODS)
+			if err != nil {
+				return nil, fmt.Errorf("figure 10 (%dx%d, PEs=%d): %w", n, n, pes, err)
+			}
+			if base == nil {
+				base = res
+			}
+			sp = append(sp, float64(base.Time)/float64(res.Time))
+			tm = append(tm, res.Seconds())
+		}
+		r.Speedup = append(r.Speedup, sp)
+		r.Times = append(r.Times, tm)
+	}
+	// P&R baseline at the largest size.
+	r.PRSize = sizes[len(sizes)-1]
+	var prBase *sim.Result
+	for _, pes := range peCounts {
+		res, err := RunSimple(r.PRSize, pes, VariantPR)
+		if err != nil {
+			return nil, fmt.Errorf("figure 10 P&R (PEs=%d): %w", pes, err)
+		}
+		if prBase == nil {
+			prBase = res
+		}
+		r.PRSpeedup = append(r.PRSpeedup, float64(prBase.Time)/float64(res.Time))
+	}
+	return r, nil
+}
+
+// Format renders the figure.
+func (r *F10Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 — speed-up of SIMPLE (T1/Tp)\n")
+	fmt.Fprintf(&b, "paper at 32 PEs: 16x16 -> 8.1, 32x32 -> 12.4, 64x64 -> 18.9;\n")
+	fmt.Fprintf(&b, "       PODS beats the P&R compiled baseline at 64x64 for large PE counts\n\n")
+	fmt.Fprintf(&b, "%-10s", "series")
+	for _, p := range r.PEs {
+		fmt.Fprintf(&b, "%8dPE", p)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-10s", "linear")
+	for _, p := range r.PEs {
+		fmt.Fprintf(&b, "%10.2f", float64(p))
+	}
+	b.WriteByte('\n')
+	for i, n := range r.Sizes {
+		fmt.Fprintf(&b, "%-10s", fmt.Sprintf("%dx%d", n, n))
+		for _, v := range r.Speedup[i] {
+			fmt.Fprintf(&b, "%10.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-10s", fmt.Sprintf("P&R %d", r.PRSize))
+	for _, v := range r.PRSpeedup {
+		fmt.Fprintf(&b, "%10.2f", v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// E1Result is the §5.3.4 efficiency comparison.
+type E1Result struct {
+	N          int
+	SeqSeconds float64 // ideal sequential (the paper's compiled C: 0.9 s)
+	PodsSec    float64 // PODS on one PE (the paper: 1.72 s)
+	Ratio      float64
+}
+
+// EfficiencyE1 regenerates the §5.3.4 comparison on standalone conduction.
+func EfficiencyE1(n int) (*E1Result, error) {
+	seq, err := RunConduction(n, 1, VariantSeq)
+	if err != nil {
+		return nil, err
+	}
+	pods, err := RunConduction(n, 1, VariantPODS)
+	if err != nil {
+		return nil, err
+	}
+	return &E1Result{
+		N:          n,
+		SeqSeconds: seq.Seconds(),
+		PodsSec:    pods.Seconds(),
+		Ratio:      pods.Seconds() / seq.Seconds(),
+	}, nil
+}
+
+// Format renders the comparison.
+func (r *E1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E1 — efficiency comparison (conduction %dx%d on 1 PE, §5.3.4)\n", r.N, r.N)
+	fmt.Fprintf(&b, "paper: sequential C 0.9 s vs PODS 1.72 s => ratio 1.91\n\n")
+	fmt.Fprintf(&b, "ideal sequential: %8.3f s (virtual)\n", r.SeqSeconds)
+	fmt.Fprintf(&b, "PODS on 1 PE:     %8.3f s (virtual)\n", r.PodsSec)
+	fmt.Fprintf(&b, "ratio:            %8.2f   (paper: %.2f)\n", r.Ratio, PaperEfficiencyRatio)
+	return b.String()
+}

@@ -1,0 +1,86 @@
+// Package core wires the PODS pipeline of the paper's Figure 3 into one
+// object: Idlite source (standing in for Id Nouveau) is compiled to
+// dataflow graphs, the Translator turns code blocks into Subcompact
+// Processes, the Partitioner inserts the distribution primitives
+// (distributing allocate, LD, Range Filters), and the result can be run
+// either on the instruction-level machine simulator or on the goroutine
+// runtime.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/idlang"
+	"repro/internal/isa"
+	"repro/internal/partition"
+	"repro/internal/podsrt"
+	"repro/internal/sim"
+	"repro/internal/translate"
+)
+
+// Options configures compilation.
+type Options struct {
+	// DisableDistribution skips the partitioner's loop distribution.
+	DisableDistribution bool
+}
+
+// System is a compiled, partitioned PODS program ready to run.
+type System struct {
+	Graph   *graph.Program
+	Program *isa.Program
+	Report  *partition.Report
+}
+
+// CompileSource builds a System from Idlite source text.
+func CompileSource(filename, src string, opts Options) (*System, error) {
+	gp, err := idlang.Compile(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileGraph(gp, opts)
+}
+
+// CompileGraph builds a System from an already-constructed dataflow graph
+// (e.g. one assembled with graph.Builder).
+func CompileGraph(gp *graph.Program, opts Options) (*System, error) {
+	prog, err := translate.Translate(gp)
+	if err != nil {
+		return nil, fmt.Errorf("translate: %w", err)
+	}
+	rep, err := partition.Partition(prog, partition.Options{DisableDistribution: opts.DisableDistribution})
+	if err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	return &System{Graph: gp, Program: prog, Report: rep}, nil
+}
+
+// Listing returns the SP disassembly of the partitioned program.
+func (s *System) Listing() string { return s.Program.Listing() }
+
+// Simulate runs the program on the discrete-event machine simulator.
+func (s *System) Simulate(cfg sim.Config, args ...isa.Value) (*sim.Result, *sim.Machine, error) {
+	m, err := sim.New(s.Program, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Run(args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, m, nil
+}
+
+// Execute runs the program on the concurrent goroutine runtime.
+func (s *System) Execute(ctx context.Context, cfg podsrt.Config, args ...isa.Value) (*isa.Value, *podsrt.Runtime, error) {
+	rt, err := podsrt.New(s.Program, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := rt.Run(ctx, args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, rt, nil
+}

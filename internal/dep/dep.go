@@ -1,0 +1,124 @@
+// Package dep implements the dependence analysis that drives the PODS
+// partitioner (§4.2.4): detecting loop-carried dependencies (LCDs) and
+// choosing a Range-Filter form for a distributable loop level.
+//
+// As the paper notes, declarative semantics make this analysis simple — the
+// only dependence is flow dependence and there is no aliasing — and a wrong
+// answer only costs performance, never correctness, because I-structures
+// still synchronize every read with its write. The analysis is therefore
+// deliberately conservative: affine subscripts of the form var±const are
+// understood; anything else is assumed carried.
+package dep
+
+import (
+	"repro/internal/isa"
+)
+
+// HasLCD reports whether loop level v (the loop variable's name) carries a
+// dependence, given the array accesses of the loop's whole body subtree and
+// whether the level has loop-carried scalars (`next` variables — those are
+// LCDs by definition).
+func HasLCD(v string, accesses []isa.ArrayAccess, hasCarriedScalars bool) bool {
+	if hasCarriedScalars {
+		return true
+	}
+	for _, w := range accesses {
+		if !w.IsWrite {
+			continue
+		}
+		for _, r := range accesses {
+			if r.IsWrite || r.Array != w.Array {
+				continue
+			}
+			if flowDependsAt(v, w, r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// flowDependsAt reports whether read r may observe a value written by w in
+// a *different* iteration of loop v.
+func flowDependsAt(v string, w, r isa.ArrayAccess) bool {
+	usesV := false
+	for d := range w.Dims {
+		if w.Dims[d] == isa.SubAffine && w.Vars[d] == v {
+			usesV = true
+			if d >= len(r.Dims) {
+				return true // shape mismatch: be conservative
+			}
+			if r.Dims[d] != isa.SubAffine || r.Vars[d] != v {
+				// The read's subscript in this dimension is not v+c: it may
+				// name any iteration's element.
+				return true
+			}
+			if r.Offsets[d] != w.Offsets[d] {
+				// Classic carried flow dependence, e.g. write A[i], read A[i-1].
+				return true
+			}
+		}
+	}
+	if !usesV {
+		// The write does not vary with v: every iteration targets the same
+		// element(s); any read of the array is potentially carried.
+		return true
+	}
+	return false
+}
+
+// RFChoice describes the Range Filter to install for a distributed loop.
+type RFChoice struct {
+	Kind  isa.RFKind
+	Array string // array whose header drives the filter (RFRow/RFCol)
+	Dim   int    // array dimension indexed by the loop variable
+	Outer string // RFCol: the outer loop variable fixing dimension 0
+}
+
+// ChooseRF selects a Range-Filter form for loop level v from the write
+// accesses of its body subtree:
+//
+//   - the loop variable indexes dimension 0 of a written array with offset
+//     0 → row filter (first-element ownership rule, §4.2.3);
+//   - it indexes dimension 1 while dimension 0 is fixed by an *enclosing*
+//     loop variable (a member of outerVars) → in-row column filter
+//     (Figure 5);
+//   - it indexes a written array some other way → uniform block split of
+//     the index range (ownership cannot be followed);
+//   - the subtree writes nothing → no distribution (ok=false).
+func ChooseRF(v string, accesses []isa.ArrayAccess, outerVars map[string]bool) (RFChoice, bool) {
+	var best RFChoice
+	rank := 0 // 0 none, 1 uniform, 2 col, 3 row
+	consider := func(c RFChoice, r int) {
+		if r > rank {
+			best, rank = c, r
+		}
+	}
+	anyWrite := false
+	for _, w := range accesses {
+		if !w.IsWrite {
+			continue
+		}
+		anyWrite = true
+		for d := range w.Dims {
+			if w.Dims[d] != isa.SubAffine || w.Vars[d] != v || w.Offsets[d] != 0 {
+				continue
+			}
+			switch d {
+			case 0:
+				consider(RFChoice{Kind: isa.RFRow, Array: w.Array, Dim: 0}, 3)
+			case 1:
+				if w.Dims[0] == isa.SubAffine && w.Offsets[0] == 0 && w.Vars[0] != v && outerVars[w.Vars[0]] {
+					consider(RFChoice{Kind: isa.RFCol, Array: w.Array, Dim: 1, Outer: w.Vars[0]}, 2)
+				} else {
+					consider(RFChoice{Kind: isa.RFUniform}, 1)
+				}
+			}
+		}
+	}
+	if rank == 0 && anyWrite {
+		// Writes exist but none track v directly: split iterations evenly.
+		return RFChoice{Kind: isa.RFUniform}, true
+	}
+	return best, rank > 0
+}

@@ -1,0 +1,158 @@
+package dep
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func access(arr string, write bool, subs ...interface{}) isa.ArrayAccess {
+	a := isa.ArrayAccess{Array: arr, IsWrite: write}
+	for i := 0; i < len(subs); i += 2 {
+		v := subs[i].(string)
+		off := int64(subs[i+1].(int))
+		if v == "?" {
+			a.Dims = append(a.Dims, isa.SubOther)
+			a.Vars = append(a.Vars, "")
+			a.Offsets = append(a.Offsets, 0)
+		} else {
+			a.Dims = append(a.Dims, isa.SubAffine)
+			a.Vars = append(a.Vars, v)
+			a.Offsets = append(a.Offsets, off)
+		}
+	}
+	return a
+}
+
+func TestNoLCDSimpleFill(t *testing.T) {
+	// for i: for j: A[i,j] = f(i,j) — no reads of A at all.
+	acc := []isa.ArrayAccess{access("A", true, "i", 0, "j", 0)}
+	if HasLCD("i", acc, false) {
+		t.Error("plain fill should have no LCD at i")
+	}
+	if HasLCD("j", acc, false) {
+		t.Error("plain fill should have no LCD at j")
+	}
+}
+
+func TestLCDSweep(t *testing.T) {
+	// write alpha[i,j], read alpha[i-1,j]: LCD at i, none at j.
+	acc := []isa.ArrayAccess{
+		access("alpha", true, "i", 0, "j", 0),
+		access("alpha", false, "i", -1, "j", 0),
+	}
+	if !HasLCD("i", acc, false) {
+		t.Error("sweep should have LCD at i")
+	}
+	if HasLCD("j", acc, false) {
+		t.Error("sweep should have no LCD at j")
+	}
+}
+
+func TestLCDColumnSweep(t *testing.T) {
+	// write B[i,j], read B[i,j-1]: LCD at j, none at i.
+	acc := []isa.ArrayAccess{
+		access("B", true, "i", 0, "j", 0),
+		access("B", false, "i", 0, "j", -1),
+	}
+	if HasLCD("i", acc, false) {
+		t.Error("column sweep should have no LCD at i")
+	}
+	if !HasLCD("j", acc, false) {
+		t.Error("column sweep should have LCD at j")
+	}
+}
+
+func TestReadOfOtherArrayNoLCD(t *testing.T) {
+	// Jacobi-style: write New[i,j], read Old[i±1,j±1] — no LCD anywhere.
+	acc := []isa.ArrayAccess{
+		access("New", true, "i", 0, "j", 0),
+		access("Old", false, "i", -1, "j", 0),
+		access("Old", false, "i", 1, "j", 0),
+		access("Old", false, "i", 0, "j", -1),
+	}
+	if HasLCD("i", acc, false) || HasLCD("j", acc, false) {
+		t.Error("Jacobi stencil should have no LCD")
+	}
+}
+
+func TestCarriedScalarIsLCD(t *testing.T) {
+	if !HasLCD("k", nil, true) {
+		t.Error("carried scalar must imply LCD")
+	}
+}
+
+func TestNonAffineConservative(t *testing.T) {
+	// write A[i], read A[B[i]] → non-affine read subscript → LCD.
+	acc := []isa.ArrayAccess{
+		access("A", true, "i", 0),
+		access("A", false, "?", 0),
+	}
+	if !HasLCD("i", acc, false) {
+		t.Error("non-affine read must be conservatively carried")
+	}
+}
+
+func TestWriteNotVaryingWithVIsLCD(t *testing.T) {
+	// write A[j] inside i-loop (i not in subscript), read A[j]: conservative
+	// LCD at i (same element every i iteration).
+	acc := []isa.ArrayAccess{
+		access("A", true, "j", 0),
+		access("A", false, "j", 0),
+	}
+	if !HasLCD("i", acc, false) {
+		t.Error("write not varying with i must be conservatively carried at i")
+	}
+}
+
+func TestChooseRFRow(t *testing.T) {
+	acc := []isa.ArrayAccess{access("A", true, "i", 0, "j", 0)}
+	c, ok := ChooseRF("i", acc, map[string]bool{})
+	if !ok || c.Kind != isa.RFRow || c.Array != "A" {
+		t.Fatalf("ChooseRF(i) = %+v ok=%v, want row filter on A", c, ok)
+	}
+}
+
+func TestChooseRFCol(t *testing.T) {
+	acc := []isa.ArrayAccess{access("A", true, "i", 0, "j", 0)}
+	c, ok := ChooseRF("j", acc, map[string]bool{"i": true})
+	if !ok || c.Kind != isa.RFCol || c.Array != "A" || c.Outer != "i" {
+		t.Fatalf("ChooseRF(j) = %+v ok=%v, want col filter on A keyed by i", c, ok)
+	}
+}
+
+func TestChooseRFUniform(t *testing.T) {
+	// Loop over j writing A[i,j] where dimension 0 is swept inside (by a
+	// non-outer var) cannot follow ownership: write with offset≠0.
+	acc := []isa.ArrayAccess{access("A", true, "i", 1, "j", 0)}
+	c, ok := ChooseRF("i", acc, map[string]bool{})
+	if !ok || c.Kind != isa.RFUniform {
+		t.Fatalf("ChooseRF(i) with offset-1 write = %+v ok=%v, want uniform", c, ok)
+	}
+}
+
+func TestChooseRFNoWrites(t *testing.T) {
+	acc := []isa.ArrayAccess{access("A", false, "i", 0)}
+	if _, ok := ChooseRF("i", acc, map[string]bool{}); ok {
+		t.Fatal("loop with no writes should not be distributed")
+	}
+}
+
+func TestChooseRFPrefersRow(t *testing.T) {
+	acc := []isa.ArrayAccess{
+		access("B", true, "x", 1, "i", 0), // would be uniform
+		access("A", true, "i", 0, "j", 0), // row
+	}
+	c, ok := ChooseRF("i", acc, map[string]bool{})
+	if !ok || c.Kind != isa.RFRow || c.Array != "A" {
+		t.Fatalf("ChooseRF = %+v ok=%v, want row on A preferred", c, ok)
+	}
+}
+
+func TestChooseRF1D(t *testing.T) {
+	acc := []isa.ArrayAccess{access("V", true, "i", 0)}
+	c, ok := ChooseRF("i", acc, map[string]bool{})
+	if !ok || c.Kind != isa.RFRow || c.Array != "V" {
+		t.Fatalf("ChooseRF 1-D = %+v ok=%v, want row filter (element ranges)", c, ok)
+	}
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder incrementally constructs a dataflow Program. It is the public
+// construction surface used by the Idlite frontend and by tests/examples
+// that build graphs directly.
+type Builder struct {
+	prog *Program
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{prog: &Program{Entry: -1, ArrayDims: make(map[string]int)}}
+}
+
+// Program finalizes and validates the program.
+func (bl *Builder) Program() (*Program, error) {
+	if err := bl.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return bl.prog, nil
+}
+
+// DeclareArray records the dimensionality of a source-level array name.
+func (bl *Builder) DeclareArray(name string, dims int) { bl.prog.ArrayDims[name] = dims }
+
+// NewBlock appends a block and returns a block builder for it.
+func (bl *Builder) NewBlock(name string, kind BlockKind, params []Param) *BlockBuilder {
+	b := &Block{
+		ID:     len(bl.prog.Blocks),
+		Name:   name,
+		Kind:   kind,
+		Params: params,
+		Result: -1,
+	}
+	bl.prog.Blocks = append(bl.prog.Blocks, b)
+	if kind == BlockMain {
+		bl.prog.Entry = b.ID
+	}
+	return &BlockBuilder{bl: bl, b: b}
+}
+
+// BlockBuilder adds nodes to one block. Nodes are appended either to the
+// block body or, between BeginThen/BeginElse and EndIf, to the open region.
+type BlockBuilder struct {
+	bl      *Builder
+	b       *Block
+	regions []*Region // region stack; nil entries are impossible
+}
+
+// Block returns the underlying block (for setting LoopMeta etc.).
+func (bb *BlockBuilder) Block() *Block { return bb.b }
+
+func (bb *BlockBuilder) add(n *Node) int {
+	n.ID = len(bb.b.Nodes)
+	bb.b.Nodes = append(bb.b.Nodes, n)
+	if len(bb.regions) > 0 {
+		r := bb.regions[len(bb.regions)-1]
+		r.Nodes = append(r.Nodes, n.ID)
+	} else {
+		bb.b.Body = append(bb.b.Body, n.ID)
+	}
+	return n.ID
+}
+
+// Param materializes parameter i as a node.
+func (bb *BlockBuilder) Param(i int) int {
+	t := isa.KindInvalid
+	if i >= 0 && i < len(bb.b.Params) {
+		t = bb.b.Params[i].Type
+	}
+	return bb.add(&Node{Op: OpParam, Imm: isa.Int(int64(i)), Type: t, HasValue: true})
+}
+
+// ImportParam appends a new parameter declaration and materializes it as a
+// node at the block's top level — even while an if-region is open — so that
+// lazily imported free variables are always visible to every consumer in the
+// block. Param nodes emit no instructions, so top-level placement is safe.
+func (bb *BlockBuilder) ImportParam(name string, t isa.Kind) int {
+	idx := len(bb.b.Params)
+	bb.b.Params = append(bb.b.Params, Param{Name: name, Type: t})
+	n := &Node{Op: OpParam, Imm: isa.Int(int64(idx)), Type: t, HasValue: true}
+	n.ID = len(bb.b.Nodes)
+	bb.b.Nodes = append(bb.b.Nodes, n)
+	bb.b.Body = append(bb.b.Body, n.ID)
+	return n.ID
+}
+
+// AppendParamDecl appends a parameter declaration without materializing a
+// node (used for loop-carried initial values, which are wired by the
+// translator's parameter convention rather than referenced as nodes).
+func (bb *BlockBuilder) AppendParamDecl(name string, t isa.Kind) {
+	bb.b.Params = append(bb.b.Params, Param{Name: name, Type: t})
+}
+
+// Const materializes a literal.
+func (bb *BlockBuilder) Const(v isa.Value) int {
+	return bb.add(&Node{Op: OpConst, Imm: v, Type: v.Kind, HasValue: true})
+}
+
+// LoopVar materializes the loop block's index variable.
+func (bb *BlockBuilder) LoopVar() int {
+	return bb.add(&Node{Op: OpLoopVar, Type: isa.KindInt, HasValue: true})
+}
+
+// CarriedVar materializes carried scalar i's current-iteration value.
+func (bb *BlockBuilder) CarriedVar(i int, t isa.Kind) int {
+	return bb.add(&Node{Op: OpCarried, Imm: isa.Int(int64(i)), Type: t, HasValue: true})
+}
+
+// Unary adds a one-input operator.
+func (bb *BlockBuilder) Unary(op Op, t isa.Kind, x int) int {
+	return bb.add(&Node{Op: op, Type: t, In: []int{x}, HasValue: true})
+}
+
+// Binary adds a two-input operator.
+func (bb *BlockBuilder) Binary(op Op, t isa.Kind, x, y int) int {
+	return bb.add(&Node{Op: op, Type: t, In: []int{x, y}, HasValue: true})
+}
+
+// Alloc adds an array allocation.
+func (bb *BlockBuilder) Alloc(name string, extents []int) int {
+	bb.bl.DeclareArray(name, len(extents))
+	return bb.add(&Node{Op: OpAlloc, Type: isa.KindArray, In: extents, Name: name, HasValue: true})
+}
+
+// ARead adds an I-structure read of arr at the given indices.
+func (bb *BlockBuilder) ARead(name string, arr int, idx []int, subs []Subscript) int {
+	in := append([]int{arr}, idx...)
+	return bb.add(&Node{Op: OpARead, Type: isa.KindFloat, In: in, Name: name, Subs: subs, HasValue: true})
+}
+
+// AWrite adds an I-structure write of val to arr at the given indices.
+func (bb *BlockBuilder) AWrite(name string, arr int, idx []int, val int, subs []Subscript) int {
+	in := append(append([]int{arr}, idx...), val)
+	return bb.add(&Node{Op: OpAWrite, In: in, Name: name, Subs: subs})
+}
+
+// Call adds a function invocation (an L operator entering a function block).
+func (bb *BlockBuilder) Call(callee *Block, args []int) int {
+	n := &Node{Op: OpCall, Callee: callee.ID, In: args}
+	if callee.Result >= 0 {
+		n.HasValue = true
+		n.Type = callee.ResultType
+	}
+	return bb.add(n)
+}
+
+// ForLoop adds a loop invocation. Inputs: init, limit, free-variable args,
+// carried initial values (matching the loop block's parameter convention).
+func (bb *BlockBuilder) ForLoop(callee *Block, init, limit int, frees, carriedInit []int) int {
+	in := append([]int{init, limit}, frees...)
+	in = append(in, carriedInit...)
+	return bb.add(&Node{Op: OpLoop, Callee: callee.ID, In: in})
+}
+
+// WhileLoop adds a condition-controlled loop invocation. Inputs:
+// free-variable args then carried initial values (no bounds).
+func (bb *BlockBuilder) WhileLoop(callee *Block, frees, carriedInit []int) int {
+	in := append(append([]int{}, frees...), carriedInit...)
+	return bb.add(&Node{Op: OpLoop, Callee: callee.ID, In: in})
+}
+
+// LoopOut extracts carried scalar i's final value from a loop node.
+func (bb *BlockBuilder) LoopOut(loop int, i int, t isa.Kind) int {
+	return bb.add(&Node{Op: OpLoopOut, Imm: isa.Int(int64(i)), In: []int{loop}, Type: t, HasValue: true})
+}
+
+// If opens a conditional node; nodes added until EndThen/EndIf land in the
+// respective region. Usage:
+//
+//	id := bb.If(cond)
+//	... then nodes ...; bb.EndThen(id, thenResult)
+//	... else nodes ...; bb.EndIf(id, elseResult)
+func (bb *BlockBuilder) If(cond int) int {
+	n := &Node{Op: OpIf, In: []int{cond}, Then: &Region{Result: -1}, Else: &Region{Result: -1}}
+	id := bb.add(n)
+	bb.regions = append(bb.regions, n.Then)
+	return id
+}
+
+// EndThen closes the then-region (result -1 for statement ifs) and opens
+// the else-region.
+func (bb *BlockBuilder) EndThen(ifNode int, result int) {
+	n := bb.b.Node(ifNode)
+	n.Then.Result = result
+	bb.regions[len(bb.regions)-1] = n.Else
+}
+
+// EndIf closes the else-region and finalizes the node's result typing.
+func (bb *BlockBuilder) EndIf(ifNode int, result int) {
+	n := bb.b.Node(ifNode)
+	n.Else.Result = result
+	bb.regions = bb.regions[:len(bb.regions)-1]
+	if n.Then.Result >= 0 && n.Else.Result >= 0 {
+		n.HasValue = true
+		n.Type = bb.b.Node(n.Then.Result).Type
+	}
+}
+
+// SetLoop attaches loop metadata to a loop block.
+func (bb *BlockBuilder) SetLoop(meta *LoopMeta) { bb.b.Loop = meta }
+
+// Return designates the block's result node.
+func (bb *BlockBuilder) Return(node int, t isa.Kind) {
+	bb.b.Result = node
+	bb.b.ResultType = t
+}
+
+// Sub returns an affine subscript descriptor.
+func Sub(varName string, off int64) Subscript { return Subscript{Var: varName, Off: off, Affine: true} }
+
+// SubOther returns a non-affine subscript descriptor.
+func SubOther() Subscript { return Subscript{} }
+
+// Err is a convenience for frontend error construction with block context.
+func Err(b *Block, format string, args ...interface{}) error {
+	return fmt.Errorf("block %q: %s", b.Name, fmt.Sprintf(format, args...))
+}

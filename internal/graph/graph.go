@@ -1,0 +1,314 @@
+// Package graph defines the dataflow-graph intermediate representation that
+// stands in for the MIT Id Nouveau compiler's output (paper Figure 2/3): a
+// program is a set of *code blocks* (function bodies and loop-nest levels,
+// each entered through an L operator), and each block is a set of operator
+// nodes connected by data arcs. The PODS translator (internal/translate)
+// orders each block's nodes along its arcs into a sequential Subcompact
+// Process.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Op is a dataflow operator kind.
+type Op uint8
+
+// Operator kinds. Arithmetic is typed (the frontend resolves int vs float);
+// comparisons are generic and resolve against operand kinds at run time.
+const (
+	OpInvalid Op = iota
+	OpParam      // block parameter; Imm.I = parameter index
+	OpConst      // literal; Imm = value
+	OpLoopVar    // the enclosing loop block's index variable
+	OpCarried    // current value of a loop-carried scalar; Imm.I = carried index
+
+	OpIAdd
+	OpISub
+	OpIMul
+	OpIDiv
+	OpIMod
+	OpINeg
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+	OpFAbs
+	OpFSqrt
+	OpFPow
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpCmpEQ
+	OpCmpNE
+	OpAnd
+	OpOr
+	OpNot
+	OpMax
+	OpMin
+	OpItoF
+	OpFtoI
+
+	OpIf      // In[0] = condition; Then/Else regions; 0 or 1 results
+	OpAlloc   // In = extents; Name = array source name; result = handle
+	OpARead   // In = [array, indices...]; Name = array source name
+	OpAWrite  // In = [array, indices..., value]; Name = array source name
+	OpCall    // In = args; Callee = block ID; result iff callee returns
+	OpLoop    // In = [init, limit, frees..., carried inits...]; Callee = loop block
+	OpLoopOut // In = [loop node]; Imm.I = carried index; result = final value
+)
+
+var opNames = map[Op]string{
+	OpParam: "param", OpConst: "const", OpLoopVar: "loopvar", OpCarried: "carried",
+	OpIAdd: "iadd", OpISub: "isub", OpIMul: "imul", OpIDiv: "idiv", OpIMod: "imod", OpINeg: "ineg",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv", OpFNeg: "fneg",
+	OpFAbs: "fabs", OpFSqrt: "fsqrt", OpFPow: "fpow",
+	OpCmpLT: "cmplt", OpCmpLE: "cmple", OpCmpGT: "cmpgt", OpCmpGE: "cmpge",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne",
+	OpAnd: "and", OpOr: "or", OpNot: "not", OpMax: "max", OpMin: "min",
+	OpItoF: "itof", OpFtoI: "ftoi",
+	OpIf: "if", OpAlloc: "alloc", OpARead: "aread", OpAWrite: "awrite",
+	OpCall: "call", OpLoop: "loop", OpLoopOut: "loopout",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// HasResult reports whether nodes of this op produce a value. OpIf and
+// OpCall are resolved per node (see Node.Produces).
+func (o Op) fixedNoResult() bool { return o == OpAWrite || o == OpLoop }
+
+// Subscript classifies one array-index expression for dependence analysis:
+// Affine means the index is `Var + Off` for an enclosing loop variable.
+type Subscript struct {
+	Var    string
+	Off    int64
+	Affine bool
+}
+
+// Region is a conditionally executed sub-graph of an OpIf node.
+type Region struct {
+	Nodes  []int // node IDs in this region, in insertion order
+	Result int   // node ID producing the region's value, or -1
+}
+
+// Node is one dataflow operator.
+type Node struct {
+	ID   int
+	Op   Op
+	Type isa.Kind // result type (KindInvalid when no result)
+	In   []int    // input node IDs (within the same block scope)
+	Imm  isa.Value
+	Name string // array name (Alloc/ARead/AWrite) or debug label
+
+	Subs []Subscript // ARead/AWrite: per-dimension classification
+
+	Callee int // Call/Loop: target block ID
+	Then   *Region
+	Else   *Region
+
+	// HasValue reports whether this node produces a result (false for
+	// writes, void calls, result-less ifs, loop spawns).
+	HasValue bool
+}
+
+// BlockKind distinguishes block roles.
+type BlockKind uint8
+
+// Block kinds.
+const (
+	BlockMain BlockKind = iota + 1
+	BlockFunc
+	BlockLoop
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case BlockMain:
+		return "main"
+	case BlockFunc:
+		return "func"
+	case BlockLoop:
+		return "loop"
+	default:
+		return "?"
+	}
+}
+
+// Param declares one block parameter.
+type Param struct {
+	Name string
+	Type isa.Kind
+}
+
+// Carried declares one loop-carried scalar of a loop block: its initial
+// value arrives as a parameter; NextNode produces the value for the next
+// iteration; the final value is returned to the parent via OpLoopOut.
+type Carried struct {
+	Name     string
+	Type     isa.Kind
+	NextNode int // node ID in the loop block producing the next value
+}
+
+// LoopMeta describes a loop block.
+//
+// For-loop parameter convention: params[0]=init, params[1]=limit, then free
+// variables, then carried initial values. While-loop convention: free
+// variables, then carried initial values (no bounds).
+type LoopMeta struct {
+	Var        string
+	Descending bool
+	Carried    []Carried
+
+	// While marks a condition-controlled loop. CondNode is the node
+	// producing the continue-condition, re-evaluated every iteration;
+	// nodes listed in Body before index CondBoundary form the condition
+	// sub-graph, the rest the loop body.
+	While        bool
+	CondNode     int
+	CondBoundary int
+}
+
+// Block is one code block (one SP after translation).
+type Block struct {
+	ID     int
+	Name   string
+	Kind   BlockKind
+	Params []Param
+
+	Nodes []*Node // arena indexed by node ID
+	Body  []int   // top-level node IDs in insertion order
+
+	Loop *LoopMeta // non-nil for BlockLoop
+
+	Result     int // node ID of the return value, or -1
+	ResultType isa.Kind
+}
+
+// Node returns the node with the given ID.
+func (b *Block) Node(id int) *Node {
+	if id < 0 || id >= len(b.Nodes) {
+		return nil
+	}
+	return b.Nodes[id]
+}
+
+// Program is a whole dataflow program.
+type Program struct {
+	Blocks    []*Block
+	Entry     int
+	ArrayDims map[string]int
+}
+
+// Block returns the block with the given ID, or nil.
+func (p *Program) Block(id int) *Block {
+	if id < 0 || id >= len(p.Blocks) {
+		return nil
+	}
+	return p.Blocks[id]
+}
+
+// Validate checks referential integrity of the whole program.
+func (p *Program) Validate() error {
+	if p.Block(p.Entry) == nil {
+		return fmt.Errorf("graph: entry block %d missing", p.Entry)
+	}
+	for _, b := range p.Blocks {
+		if err := p.validateBlock(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateBlock(b *Block) error {
+	if b.Kind == BlockLoop {
+		if b.Loop == nil {
+			return fmt.Errorf("graph: loop block %q missing LoopMeta", b.Name)
+		}
+		if !b.Loop.While && len(b.Params) < 2 {
+			return fmt.Errorf("graph: loop block %q needs init/limit params", b.Name)
+		}
+		if b.Loop.While {
+			if b.Node(b.Loop.CondNode) == nil {
+				return fmt.Errorf("graph: while block %q: bad condition node %d", b.Name, b.Loop.CondNode)
+			}
+			if b.Loop.CondBoundary < 0 || b.Loop.CondBoundary > len(b.Body) {
+				return fmt.Errorf("graph: while block %q: condition boundary %d out of range", b.Name, b.Loop.CondBoundary)
+			}
+		}
+	}
+	seen := make(map[int]bool, len(b.Nodes))
+	mark := func(ids []int, where string) error {
+		for _, id := range ids {
+			n := b.Node(id)
+			if n == nil {
+				return fmt.Errorf("graph: block %q: bad node id %d in %s", b.Name, id, where)
+			}
+			if seen[id] {
+				return fmt.Errorf("graph: block %q: node %d listed twice (%s)", b.Name, id, where)
+			}
+			seen[id] = true
+		}
+		return nil
+	}
+	if err := mark(b.Body, "body"); err != nil {
+		return err
+	}
+	var walkRegions func(ids []int) error
+	walkRegions = func(ids []int) error {
+		for _, id := range ids {
+			n := b.Node(id)
+			if n.Op == OpIf {
+				for _, r := range []*Region{n.Then, n.Else} {
+					if r == nil {
+						continue
+					}
+					if err := mark(r.Nodes, "region"); err != nil {
+						return err
+					}
+					if err := walkRegions(r.Nodes); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := walkRegions(b.Body); err != nil {
+		return err
+	}
+	for _, n := range b.Nodes {
+		if n == nil {
+			continue
+		}
+		for _, in := range n.In {
+			if b.Node(in) == nil {
+				return fmt.Errorf("graph: block %q node %d: bad input %d", b.Name, n.ID, in)
+			}
+		}
+		switch n.Op {
+		case OpCall, OpLoop:
+			if p.Block(n.Callee) == nil {
+				return fmt.Errorf("graph: block %q node %d: bad callee %d", b.Name, n.ID, n.Callee)
+			}
+		case OpLoopOut:
+			if len(n.In) != 1 || b.Node(n.In[0]) == nil || b.Node(n.In[0]).Op != OpLoop {
+				return fmt.Errorf("graph: block %q node %d: loopout must reference a loop node", b.Name, n.ID)
+			}
+		case OpParam:
+			if n.Imm.I < 0 || int(n.Imm.I) >= len(b.Params) {
+				return fmt.Errorf("graph: block %q node %d: param index %d out of range", b.Name, n.ID, n.Imm.I)
+			}
+		}
+	}
+	return nil
+}

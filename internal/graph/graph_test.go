@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderBasicProgram(t *testing.T) {
+	b := NewBuilder()
+	mb := b.NewBlock("main", BlockMain, []Param{{Name: "n", Type: isa.KindInt}})
+	n := mb.Param(0)
+	two := mb.Const(isa.Int(2))
+	s := mb.Binary(OpIMul, isa.KindInt, n, two)
+	mb.Return(s, isa.KindInt)
+	gp, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Entry != 0 || len(gp.Blocks) != 1 {
+		t.Fatalf("entry %d blocks %d", gp.Entry, len(gp.Blocks))
+	}
+	if gp.Blocks[0].Result != s {
+		t.Error("result node mismatch")
+	}
+}
+
+func TestValidateCatchesBadInput(t *testing.T) {
+	b := NewBuilder()
+	mb := b.NewBlock("main", BlockMain, nil)
+	x := mb.Const(isa.Int(1))
+	node := mb.Block().Node(mb.Binary(OpIAdd, isa.KindInt, x, x))
+	node.In[1] = 99 // dangling reference
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "bad input") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesBadCallee(t *testing.T) {
+	b := NewBuilder()
+	mb := b.NewBlock("main", BlockMain, nil)
+	mb.Block().Nodes = append(mb.Block().Nodes, &Node{ID: 0, Op: OpCall, Callee: 7})
+	mb.Block().Body = append(mb.Block().Body, 0)
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "bad callee") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateLoopBlockNeedsMeta(t *testing.T) {
+	b := NewBuilder()
+	b.NewBlock("main", BlockMain, nil)
+	b.NewBlock("loop", BlockLoop, []Param{
+		{Name: "$init", Type: isa.KindInt}, {Name: "$limit", Type: isa.KindInt},
+	})
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "LoopMeta") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateLoopOutTarget(t *testing.T) {
+	b := NewBuilder()
+	mb := b.NewBlock("main", BlockMain, nil)
+	x := mb.Const(isa.Int(1))
+	mb.Block().Nodes = append(mb.Block().Nodes, &Node{ID: 1, Op: OpLoopOut, In: []int{x}, Imm: isa.Int(0)})
+	mb.Block().Body = append(mb.Block().Body, 1)
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "loopout") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateParamIndex(t *testing.T) {
+	b := NewBuilder()
+	mb := b.NewBlock("main", BlockMain, nil)
+	mb.Param(3) // out of range — no params declared
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "param index") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIfRegionsTrackNodes(t *testing.T) {
+	b := NewBuilder()
+	mb := b.NewBlock("main", BlockMain, nil)
+	c := mb.Const(isa.Bool(true))
+	ifn := mb.If(c)
+	tv := mb.Const(isa.Int(1)) // lands in then-region
+	mb.EndThen(ifn, tv)
+	ev := mb.Const(isa.Int(2)) // lands in else-region
+	mb.EndIf(ifn, ev)
+	blk := mb.Block()
+	node := blk.Node(ifn)
+	if len(node.Then.Nodes) != 1 || node.Then.Nodes[0] != tv {
+		t.Errorf("then region: %+v", node.Then)
+	}
+	if len(node.Else.Nodes) != 1 || node.Else.Nodes[0] != ev {
+		t.Errorf("else region: %+v", node.Else)
+	}
+	if !node.HasValue || node.Type != isa.KindInt {
+		t.Errorf("if node typing: %+v", node)
+	}
+	if _, err := b.Program(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportParamBypassesOpenRegion(t *testing.T) {
+	b := NewBuilder()
+	mb := b.NewBlock("main", BlockMain, nil)
+	c := mb.Const(isa.Bool(true))
+	ifn := mb.If(c)
+	p := mb.ImportParam("outer", isa.KindFloat) // must land at top level
+	mb.EndThen(ifn, p)
+	e := mb.Const(isa.Float(0))
+	mb.EndIf(ifn, e)
+	blk := mb.Block()
+	foundTop := false
+	for _, id := range blk.Body {
+		if id == p {
+			foundTop = true
+		}
+	}
+	if !foundTop {
+		t.Fatal("imported param not at block top level")
+	}
+	if len(blk.Params) != 1 || blk.Params[0].Name != "outer" {
+		t.Fatalf("params: %+v", blk.Params)
+	}
+}
+
+func TestSubscriptHelpers(t *testing.T) {
+	s := Sub("i", -1)
+	if !s.Affine || s.Var != "i" || s.Off != -1 {
+		t.Errorf("Sub: %+v", s)
+	}
+	o := SubOther()
+	if o.Affine {
+		t.Errorf("SubOther: %+v", o)
+	}
+}
+
+func TestBlockKindStrings(t *testing.T) {
+	if BlockMain.String() != "main" || BlockFunc.String() != "func" || BlockLoop.String() != "loop" {
+		t.Error("block kind strings")
+	}
+	if OpAlloc.String() != "alloc" || OpLoopOut.String() != "loopout" {
+		t.Error("op strings")
+	}
+	if Op(99).String() != "op(99)" {
+		t.Error("unknown op string")
+	}
+}
+
+func TestDuplicateNodeListing(t *testing.T) {
+	b := NewBuilder()
+	mb := b.NewBlock("main", BlockMain, nil)
+	x := mb.Const(isa.Int(1))
+	mb.Block().Body = append(mb.Block().Body, x) // listed twice
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v", err)
+	}
+}

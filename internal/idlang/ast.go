@@ -1,0 +1,215 @@
+package idlang
+
+// Type is an Idlite static type.
+type Type uint8
+
+// Types.
+const (
+	TVoid Type = iota
+	TInt
+	TFloat
+	TBool
+	TArray1
+	TArray2
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	case TArray1:
+		return "array1"
+	case TArray2:
+		return "array2"
+	default:
+		return "void"
+	}
+}
+
+// IsArray reports whether t is an array type.
+func (t Type) IsArray() bool { return t == TArray1 || t == TArray2 }
+
+// Dims returns an array type's dimensionality (0 otherwise).
+func (t Type) Dims() int {
+	switch t {
+	case TArray1:
+		return 1
+	case TArray2:
+		return 2
+	}
+	return 0
+}
+
+// File is a parsed source file.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Name   string
+	Params []ParamDecl
+	Ret    Type
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// ParamDecl is one typed parameter.
+type ParamDecl struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// BlockStmt is a `{ ... }` statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// AssignStmt binds a new name: `x = expr;`.
+type AssignStmt struct {
+	Name string
+	X    Expr
+	Pos  Pos
+}
+
+// NextStmt updates a loop-carried scalar: `next x = expr;`.
+type NextStmt struct {
+	Name string
+	X    Expr
+	Pos  Pos
+}
+
+// StoreStmt writes an I-structure element: `A[i,j] = expr;`.
+type StoreStmt struct {
+	Array string
+	Idx   []Expr
+	X     Expr
+	Pos   Pos
+}
+
+// ForStmt is `for v = e1 to|downto e2 { ... }`.
+type ForStmt struct {
+	Var  string
+	From Expr
+	To   Expr
+	Down bool
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// WhileStmt is `while cond { ... }`; carried scalars advance with `next`.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// IfStmt is `if cond { ... } [else { ... } | else if ...]`.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // nil when absent; else-if chains nest here
+	Pos  Pos
+}
+
+// ReturnStmt is `return expr;`.
+type ReturnStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// ExprStmt is a call evaluated for effect: `f(a, b);`.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+func (s *BlockStmt) stmtPos() Pos  { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos { return s.Pos }
+func (s *NextStmt) stmtPos() Pos   { return s.Pos }
+func (s *StoreStmt) stmtPos() Pos  { return s.Pos }
+func (s *ForStmt) stmtPos() Pos    { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos  { return s.Pos }
+func (s *IfStmt) stmtPos() Pos     { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos   { return s.Pos }
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	Pos Pos
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Val float64
+	Pos Pos
+}
+
+// BoolLit is `true` or `false`.
+type BoolLit struct {
+	Val bool
+	Pos Pos
+}
+
+// Ident is a name reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// BinExpr is a binary operation; Op is the source operator text.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// UnExpr is unary `-` or `!`.
+type UnExpr struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+// CallExpr is `f(args...)`, including intrinsics and `array(...)`.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// IndexExpr is an I-structure read `A[i]` or `A[i,j]`.
+type IndexExpr struct {
+	Array string
+	Idx   []Expr
+	Pos   Pos
+}
+
+// IfExpr is `if c then a else b`.
+type IfExpr struct {
+	Cond, Then, Else Expr
+	Pos              Pos
+}
+
+func (e *IntLit) exprPos() Pos    { return e.Pos }
+func (e *FloatLit) exprPos() Pos  { return e.Pos }
+func (e *BoolLit) exprPos() Pos   { return e.Pos }
+func (e *Ident) exprPos() Pos     { return e.Pos }
+func (e *BinExpr) exprPos() Pos   { return e.Pos }
+func (e *UnExpr) exprPos() Pos    { return e.Pos }
+func (e *CallExpr) exprPos() Pos  { return e.Pos }
+func (e *IndexExpr) exprPos() Pos { return e.Pos }
+func (e *IfExpr) exprPos() Pos    { return e.Pos }

@@ -1,0 +1,418 @@
+package idlang
+
+import (
+	"repro/internal/graph"
+	"repro/internal/isa"
+)
+
+var intrinsics = map[string]bool{
+	"sqrt": true, "abs": true, "pow": true, "min": true, "max": true,
+	"float": true, "int": true,
+}
+
+// coerce converts (node, from) to the `to` type, inserting conversions.
+func (e *env) coerce(node int, from, to Type, pos Pos) (int, Type, error) {
+	if from == to {
+		return node, to, nil
+	}
+	if from == TInt && to == TFloat {
+		return e.bb.Unary(graph.OpItoF, isa.KindFloat, node), TFloat, nil
+	}
+	return 0, to, e.errf(pos, "cannot use %s where %s is required", from, to)
+}
+
+// genExpr compiles an expression, returning its node and type.
+func (e *env) genExpr(x Expr) (int, Type, error) {
+	switch ex := x.(type) {
+	case *IntLit:
+		return e.bb.Const(isa.Int(ex.Val)), TInt, nil
+	case *FloatLit:
+		return e.bb.Const(isa.Float(ex.Val)), TFloat, nil
+	case *BoolLit:
+		return e.bb.Const(isa.Bool(ex.Val)), TBool, nil
+	case *Ident:
+		b, err := e.lookup(ex.Name, ex.Pos)
+		if err != nil {
+			return 0, TVoid, err
+		}
+		return b.node, b.typ, nil
+	case *UnExpr:
+		return e.genUnary(ex)
+	case *BinExpr:
+		return e.genBinary(ex)
+	case *IndexExpr:
+		return e.genIndex(ex)
+	case *CallExpr:
+		if ex.Name == "array" {
+			return 0, TVoid, e.errf(ex.Pos, "array() may only appear directly in a binding: `A = array(...)`")
+		}
+		return e.genCall(ex)
+	case *IfExpr:
+		return e.genIfExpr(ex)
+	default:
+		return 0, TVoid, e.errf(x.exprPos(), "unsupported expression")
+	}
+}
+
+func (e *env) genUnary(ex *UnExpr) (int, Type, error) {
+	n, t, err := e.genExpr(ex.X)
+	if err != nil {
+		return 0, TVoid, err
+	}
+	switch ex.Op {
+	case "-":
+		switch t {
+		case TInt:
+			return e.bb.Unary(graph.OpINeg, isa.KindInt, n), TInt, nil
+		case TFloat:
+			return e.bb.Unary(graph.OpFNeg, isa.KindFloat, n), TFloat, nil
+		}
+		return 0, TVoid, e.errf(ex.Pos, "unary - needs a numeric operand, got %s", t)
+	case "!":
+		if t != TBool {
+			return 0, TVoid, e.errf(ex.Pos, "! needs a bool operand, got %s", t)
+		}
+		return e.bb.Unary(graph.OpNot, isa.KindBool, n), TBool, nil
+	}
+	return 0, TVoid, e.errf(ex.Pos, "unknown unary operator %q", ex.Op)
+}
+
+var cmpGraphOps = map[string]graph.Op{
+	"<": graph.OpCmpLT, "<=": graph.OpCmpLE, ">": graph.OpCmpGT,
+	">=": graph.OpCmpGE, "==": graph.OpCmpEQ, "!=": graph.OpCmpNE,
+}
+
+func (e *env) genBinary(ex *BinExpr) (int, Type, error) {
+	l, lt, err := e.genExpr(ex.L)
+	if err != nil {
+		return 0, TVoid, err
+	}
+	r, rt, err := e.genExpr(ex.R)
+	if err != nil {
+		return 0, TVoid, err
+	}
+	switch ex.Op {
+	case "+", "-", "*", "/":
+		if !isNumeric(lt) || !isNumeric(rt) {
+			return 0, TVoid, e.errf(ex.Pos, "operator %q needs numeric operands, got %s and %s", ex.Op, lt, rt)
+		}
+		if lt == TFloat || rt == TFloat {
+			l, _, _ = e.coerce(l, lt, TFloat, ex.Pos)
+			r, _, _ = e.coerce(r, rt, TFloat, ex.Pos)
+			ops := map[string]graph.Op{"+": graph.OpFAdd, "-": graph.OpFSub, "*": graph.OpFMul, "/": graph.OpFDiv}
+			return e.bb.Binary(ops[ex.Op], isa.KindFloat, l, r), TFloat, nil
+		}
+		ops := map[string]graph.Op{"+": graph.OpIAdd, "-": graph.OpISub, "*": graph.OpIMul, "/": graph.OpIDiv}
+		return e.bb.Binary(ops[ex.Op], isa.KindInt, l, r), TInt, nil
+	case "%":
+		if lt != TInt || rt != TInt {
+			return 0, TVoid, e.errf(ex.Pos, "%% needs int operands, got %s and %s", lt, rt)
+		}
+		return e.bb.Binary(graph.OpIMod, isa.KindInt, l, r), TInt, nil
+	case "<", "<=", ">", ">=", "==", "!=":
+		if !isNumeric(lt) || !isNumeric(rt) {
+			return 0, TVoid, e.errf(ex.Pos, "comparison needs numeric operands, got %s and %s", lt, rt)
+		}
+		return e.bb.Binary(cmpGraphOps[ex.Op], isa.KindBool, l, r), TBool, nil
+	case "&&", "||":
+		if lt != TBool || rt != TBool {
+			return 0, TVoid, e.errf(ex.Pos, "%s needs bool operands, got %s and %s", ex.Op, lt, rt)
+		}
+		op := graph.OpAnd
+		if ex.Op == "||" {
+			op = graph.OpOr
+		}
+		return e.bb.Binary(op, isa.KindBool, l, r), TBool, nil
+	}
+	return 0, TVoid, e.errf(ex.Pos, "unknown operator %q", ex.Op)
+}
+
+func isNumeric(t Type) bool { return t == TInt || t == TFloat }
+
+func (e *env) genIndex(ex *IndexExpr) (int, Type, error) {
+	b, err := e.lookup(ex.Array, ex.Pos)
+	if err != nil {
+		return 0, TVoid, err
+	}
+	if !b.typ.IsArray() {
+		return 0, TVoid, e.errf(ex.Pos, "%q is not an array", ex.Array)
+	}
+	if len(ex.Idx) != b.typ.Dims() {
+		return 0, TVoid, e.errf(ex.Pos, "%q has %d dimension(s), %d indices given", ex.Array, b.typ.Dims(), len(ex.Idx))
+	}
+	idx := make([]int, len(ex.Idx))
+	subs := make([]graph.Subscript, len(ex.Idx))
+	for i, ixe := range ex.Idx {
+		n, t, err := e.genExpr(ixe)
+		if err != nil {
+			return 0, TVoid, err
+		}
+		if t != TInt {
+			return 0, TVoid, e.errf(ixe.exprPos(), "array index must be int, got %s", t)
+		}
+		idx[i] = n
+		subs[i] = e.classifySub(ixe)
+	}
+	return e.bb.ARead(ex.Array, b.node, idx, subs), TFloat, nil
+}
+
+func (e *env) genIfExpr(ex *IfExpr) (int, Type, error) {
+	cond, ct, err := e.genExpr(ex.Cond)
+	if err != nil {
+		return 0, TVoid, err
+	}
+	if ct != TBool {
+		return 0, TVoid, e.errf(ex.Cond.exprPos(), "if condition must be bool, got %s", ct)
+	}
+	ifNode := e.bb.If(cond)
+	e.regionDepth++
+	tn, tt, err := e.genExpr(ex.Then)
+	if err != nil {
+		return 0, TVoid, err
+	}
+	// Branch types must unify, and any int→float promotion of the then
+	// value has to be emitted *inside* the then region. A type-only pass
+	// over the (not yet compiled) else branch tells us whether to promote.
+	if tt == TInt {
+		et, terr := e.typeOf(ex.Else)
+		if terr == nil && et == TFloat {
+			tn = e.bb.Unary(graph.OpItoF, isa.KindFloat, tn)
+			tt = TFloat
+		}
+	}
+	e.bb.EndThen(ifNode, tn)
+	en, et, err := e.genExpr(ex.Else)
+	if err != nil {
+		return 0, TVoid, err
+	}
+	if et != tt {
+		if et == TInt && tt == TFloat {
+			en = e.bb.Unary(graph.OpItoF, isa.KindFloat, en)
+			et = TFloat
+		} else {
+			e.bb.EndIf(ifNode, en)
+			e.regionDepth--
+			return 0, TVoid, e.errf(ex.Pos, "if-expression branches have different types: %s and %s", tt, et)
+		}
+	}
+	e.bb.EndIf(ifNode, en)
+	e.regionDepth--
+	return ifNode, tt, nil
+}
+
+// typeOf computes an expression's type without emitting nodes. Used to
+// unify if-expression branch types. It mirrors genExpr's typing rules.
+func (e *env) typeOf(x Expr) (Type, error) {
+	switch ex := x.(type) {
+	case *IntLit:
+		return TInt, nil
+	case *FloatLit:
+		return TFloat, nil
+	case *BoolLit:
+		return TBool, nil
+	case *Ident:
+		for s := e; s != nil; s = s.parent {
+			if b, ok := s.names[ex.Name]; ok {
+				return b.typ, nil
+			}
+			if b, ok := s.imports[ex.Name]; ok {
+				return b.typ, nil
+			}
+		}
+		return TVoid, e.errf(ex.Pos, "undefined name %q", ex.Name)
+	case *UnExpr:
+		return e.typeOf(ex.X)
+	case *BinExpr:
+		switch ex.Op {
+		case "+", "-", "*", "/":
+			lt, err := e.typeOf(ex.L)
+			if err != nil {
+				return TVoid, err
+			}
+			rt, err := e.typeOf(ex.R)
+			if err != nil {
+				return TVoid, err
+			}
+			if lt == TFloat || rt == TFloat {
+				return TFloat, nil
+			}
+			return TInt, nil
+		case "%":
+			return TInt, nil
+		default:
+			return TBool, nil
+		}
+	case *IndexExpr:
+		return TFloat, nil
+	case *CallExpr:
+		switch ex.Name {
+		case "sqrt", "abs", "pow", "float":
+			return TFloat, nil
+		case "int":
+			return TInt, nil
+		case "min", "max":
+			lt, err := e.typeOf(ex.Args[0])
+			if err != nil || len(ex.Args) < 2 {
+				return TFloat, err
+			}
+			rt, err := e.typeOf(ex.Args[1])
+			if err != nil {
+				return TVoid, err
+			}
+			if lt == TFloat || rt == TFloat {
+				return TFloat, nil
+			}
+			return TInt, nil
+		default:
+			if fi, ok := e.c.funcs[ex.Name]; ok {
+				return fi.decl.Ret, nil
+			}
+			return TVoid, e.errf(ex.Pos, "unknown function %q", ex.Name)
+		}
+	case *IfExpr:
+		tt, err := e.typeOf(ex.Then)
+		if err != nil {
+			return TVoid, err
+		}
+		et, err := e.typeOf(ex.Else)
+		if err != nil {
+			return TVoid, err
+		}
+		if tt == TFloat || et == TFloat {
+			return TFloat, nil
+		}
+		return tt, nil
+	}
+	return TVoid, e.errf(x.exprPos(), "unsupported expression")
+}
+
+func (e *env) genCall(ex *CallExpr) (int, Type, error) {
+	if intrinsics[ex.Name] {
+		return e.genIntrinsic(ex)
+	}
+	fi, ok := e.c.funcs[ex.Name]
+	if !ok {
+		return 0, TVoid, e.errf(ex.Pos, "unknown function %q", ex.Name)
+	}
+	fd := fi.decl
+	if len(ex.Args) != len(fd.Params) {
+		return 0, TVoid, e.errf(ex.Pos, "%q takes %d argument(s), %d given", ex.Name, len(fd.Params), len(ex.Args))
+	}
+	args := make([]int, len(ex.Args))
+	for i, a := range ex.Args {
+		n, t, err := e.genExpr(a)
+		if err != nil {
+			return 0, TVoid, err
+		}
+		n, _, err = e.coerce(n, t, fd.Params[i].Type, a.exprPos())
+		if err != nil {
+			return 0, TVoid, err
+		}
+		args[i] = n
+	}
+	node := e.bb.Call(fi.bb.Block(), args)
+	return node, fd.Ret, nil
+}
+
+func (e *env) genIntrinsic(ex *CallExpr) (int, Type, error) {
+	argN := func(want int) error {
+		if len(ex.Args) != want {
+			return e.errf(ex.Pos, "%s() takes %d argument(s), %d given", ex.Name, want, len(ex.Args))
+		}
+		return nil
+	}
+	floatArg := func(i int) (int, error) {
+		n, t, err := e.genExpr(ex.Args[i])
+		if err != nil {
+			return 0, err
+		}
+		n, _, err = e.coerce(n, t, TFloat, ex.Args[i].exprPos())
+		return n, err
+	}
+	switch ex.Name {
+	case "sqrt", "abs":
+		if err := argN(1); err != nil {
+			return 0, TVoid, err
+		}
+		n, err := floatArg(0)
+		if err != nil {
+			return 0, TVoid, err
+		}
+		op := graph.OpFSqrt
+		if ex.Name == "abs" {
+			op = graph.OpFAbs
+		}
+		return e.bb.Unary(op, isa.KindFloat, n), TFloat, nil
+	case "pow":
+		if err := argN(2); err != nil {
+			return 0, TVoid, err
+		}
+		a, err := floatArg(0)
+		if err != nil {
+			return 0, TVoid, err
+		}
+		b, err := floatArg(1)
+		if err != nil {
+			return 0, TVoid, err
+		}
+		return e.bb.Binary(graph.OpFPow, isa.KindFloat, a, b), TFloat, nil
+	case "min", "max":
+		if err := argN(2); err != nil {
+			return 0, TVoid, err
+		}
+		a, at, err := e.genExpr(ex.Args[0])
+		if err != nil {
+			return 0, TVoid, err
+		}
+		b, bt, err := e.genExpr(ex.Args[1])
+		if err != nil {
+			return 0, TVoid, err
+		}
+		if !isNumeric(at) || !isNumeric(bt) {
+			return 0, TVoid, e.errf(ex.Pos, "%s() needs numeric arguments", ex.Name)
+		}
+		t := TInt
+		k := isa.KindInt
+		if at == TFloat || bt == TFloat {
+			a, _, _ = e.coerce(a, at, TFloat, ex.Pos)
+			b, _, _ = e.coerce(b, bt, TFloat, ex.Pos)
+			t, k = TFloat, isa.KindFloat
+		}
+		op := graph.OpMin
+		if ex.Name == "max" {
+			op = graph.OpMax
+		}
+		return e.bb.Binary(op, k, a, b), t, nil
+	case "float":
+		if err := argN(1); err != nil {
+			return 0, TVoid, err
+		}
+		n, t, err := e.genExpr(ex.Args[0])
+		if err != nil {
+			return 0, TVoid, err
+		}
+		if t == TFloat {
+			return n, TFloat, nil
+		}
+		if t != TInt {
+			return 0, TVoid, e.errf(ex.Pos, "float() needs a numeric argument, got %s", t)
+		}
+		return e.bb.Unary(graph.OpItoF, isa.KindFloat, n), TFloat, nil
+	case "int":
+		if err := argN(1); err != nil {
+			return 0, TVoid, err
+		}
+		n, t, err := e.genExpr(ex.Args[0])
+		if err != nil {
+			return 0, TVoid, err
+		}
+		if t == TInt {
+			return n, TInt, nil
+		}
+		if t != TFloat {
+			return 0, TVoid, e.errf(ex.Pos, "int() needs a numeric argument, got %s", t)
+		}
+		return e.bb.Unary(graph.OpFtoI, isa.KindInt, n), TInt, nil
+	}
+	return 0, TVoid, e.errf(ex.Pos, "unknown intrinsic %q", ex.Name)
+}

@@ -1,0 +1,166 @@
+package idlang
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer tokenizes Idlite source. Comments run from '#' to end of line.
+type lexer struct {
+	file string
+	src  string
+	off  int
+	pos  Pos
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, pos: Pos{Line: 1, Col: 1}}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.off]
+	lx.off++
+	if b == '\n' {
+		lx.pos.Line++
+		lx.pos.Col = 1
+	} else {
+		lx.pos.Col++
+	}
+	return b
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '#':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// twoBytePuncts are the multi-character operators.
+var twoBytePuncts = map[string]bool{
+	"<=": true, ">=": true, "==": true, "!=": true,
+	"&&": true, "||": true, "->": true,
+}
+
+// next returns the next token.
+func (lx *lexer) next() (Token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	b := lx.peekByte()
+	r, rlen := utf8.DecodeRuneInString(lx.src[lx.off:])
+	switch {
+	case isIdentStartRune(r):
+		var sb strings.Builder
+		for lx.off < len(lx.src) {
+			r, rlen = utf8.DecodeRuneInString(lx.src[lx.off:])
+			if !isIdentPartRune(r) {
+				break
+			}
+			sb.WriteRune(r)
+			for i := 0; i < rlen; i++ {
+				lx.advance()
+			}
+		}
+		text := sb.String()
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: start}, nil
+
+	case b >= '0' && b <= '9':
+		var sb strings.Builder
+		isFloat := false
+		for lx.off < len(lx.src) {
+			c := lx.peekByte()
+			if c >= '0' && c <= '9' {
+				sb.WriteByte(lx.advance())
+				continue
+			}
+			if c == '.' && !isFloat && lx.off+1 < len(lx.src) && lx.src[lx.off+1] >= '0' && lx.src[lx.off+1] <= '9' {
+				isFloat = true
+				sb.WriteByte(lx.advance())
+				continue
+			}
+			if (c == 'e' || c == 'E') && lx.off+1 < len(lx.src) {
+				nxt := lx.src[lx.off+1]
+				if nxt >= '0' && nxt <= '9' || ((nxt == '+' || nxt == '-') && lx.off+2 < len(lx.src) && lx.src[lx.off+2] >= '0' && lx.src[lx.off+2] <= '9') {
+					isFloat = true
+					sb.WriteByte(lx.advance()) // e
+					if lx.peekByte() == '+' || lx.peekByte() == '-' {
+						sb.WriteByte(lx.advance())
+					}
+					for lx.off < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+						sb.WriteByte(lx.advance())
+					}
+					break
+				}
+			}
+			break
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Text: sb.String(), Pos: start}, nil
+
+	default:
+		if lx.off+1 < len(lx.src) {
+			two := lx.src[lx.off : lx.off+2]
+			if twoBytePuncts[two] {
+				lx.advance()
+				lx.advance()
+				return Token{Kind: TokPunct, Text: two, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("()[]{},;:=+-*/%<>!", rune(b)) {
+			lx.advance()
+			return Token{Kind: TokPunct, Text: string(b), Pos: start}, nil
+		}
+		return Token{}, errf(lx.file, start, "unexpected character %q", string(r))
+	}
+}
+
+func isIdentStartRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPartRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexAll tokenizes the whole source (including the trailing EOF token).
+func lexAll(file, src string) ([]Token, error) {
+	lx := newLexer(file, src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package idlang
+
+import (
+	"testing"
+)
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := lexAll("lex.id", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toks
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lex(t, `func f(x: int) -> float { return x * 2.5; }`)
+	var kinds []TokKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"func", "f", "(", "x", ":", "int", ")", "->", "float", "{",
+		"return", "x", "*", "2.5", ";", "}", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(texts), texts, len(want))
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[0] != TokKeyword || kinds[1] != TokIdent || kinds[13] != TokFloat {
+		t.Errorf("kinds: %v", kinds)
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokKind
+	}{
+		{"42", TokInt},
+		{"0", TokInt},
+		{"3.25", TokFloat},
+		{"1e6", TokFloat},
+		{"2.5e-3", TokFloat},
+		{"1E+2", TokFloat},
+	}
+	for _, c := range cases {
+		toks := lex(t, c.src)
+		if toks[0].Kind != c.kind || toks[0].Text != c.src {
+			t.Errorf("%q lexed as %v %q", c.src, toks[0].Kind, toks[0].Text)
+		}
+	}
+	// `1.` is not a float continuation (a digit must follow the dot):
+	// lexes as INT then fails on the stray dot.
+	if _, err := lexAll("lex.id", "1. 2"); err == nil {
+		t.Error("stray dot should be a lex error")
+	}
+}
+
+func TestLexerTwoByteOperators(t *testing.T) {
+	toks := lex(t, "a <= b >= c == d != e && f || g")
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokPunct {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<=", ">=", "==", "!=", "&&", "||"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks := lex(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks := lex(t, "x # the rest is ignored\ny")
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Errorf("tokens: %v", toks)
+	}
+}
+
+func TestLexerUnicodeIdent(t *testing.T) {
+	toks := lex(t, "αβ = 1;")
+	if toks[0].Kind != TokIdent || toks[0].Text != "αβ" {
+		t.Errorf("unicode ident: %v", toks[0])
+	}
+}
+
+func TestParserPrecedence(t *testing.T) {
+	// 2 + 3 * 4 == 14 must parse as 2 + (3*4).
+	f, err := Parse("p.id", "func main() -> bool { return 2 + 3 * 4 == 14; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	cmp, ok := ret.X.(*BinExpr)
+	if !ok || cmp.Op != "==" {
+		t.Fatalf("top is %T, want ==", ret.X)
+	}
+	add, ok := cmp.L.(*BinExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("left of == is %T %v", cmp.L, cmp.L)
+	}
+	mul, ok := add.R.(*BinExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right of + is %T", add.R)
+	}
+}
+
+func TestParserElseIfChain(t *testing.T) {
+	f, err := Parse("p.id", `
+func main(n: int) {
+	A = array(4);
+	if n == 1 { A[1] = 1.0; }
+	else if n == 2 { A[2] = 2.0; }
+	else { A[3] = 3.0; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifst := f.Funcs[0].Body.Stmts[1].(*IfStmt)
+	if ifst.Else == nil || len(ifst.Else.Stmts) != 1 {
+		t.Fatal("else-if not nested")
+	}
+	if _, ok := ifst.Else.Stmts[0].(*IfStmt); !ok {
+		t.Fatalf("else contains %T, want nested IfStmt", ifst.Else.Stmts[0])
+	}
+}
+
+func TestParserArrayStoreVsRead(t *testing.T) {
+	f, err := Parse("p.id", `
+func g(A: array1) -> float { return A[1]; }
+func main() {
+	A = array(4);
+	A[2] = g(A);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Funcs[1].Body.Stmts[1].(*StoreStmt)
+	if st.Array != "A" || len(st.Idx) != 1 {
+		t.Fatalf("store: %+v", st)
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []string{
+		"func",                      // truncated
+		"func main() { x = ; }",     // missing expr
+		"func main() { for i { } }", // missing bounds
+		"func main() { if { } }",    // missing cond
+		"func main() { return 1 }",  // missing semicolon
+		"func main() { a = (1; }",   // unbalanced paren
+		"func main() { a = 1 + ; }", // trailing op
+		"func main(x) { }",          // missing param type
+		"func main() -> banana { }", // bad type
+		"func main() { x = 1;",      // unterminated block
+	}
+	for _, src := range cases {
+		if _, err := Parse("e.id", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}

@@ -1,0 +1,511 @@
+package idlang
+
+import "strconv"
+
+// parser is a recursive-descent parser over the token slice.
+type parser struct {
+	file string
+	toks []Token
+	i    int
+}
+
+// Parse parses Idlite source into a File.
+func Parse(file, src string) (*File, error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	f := &File{}
+	for !p.at(TokEOF, "") {
+		fd, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fd)
+	}
+	if len(f.Funcs) == 0 {
+		return nil, errf(file, Pos{1, 1}, "no functions in file")
+	}
+	return f, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) bump() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) eat(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.bump(), nil
+	}
+	want := text
+	if want == "" {
+		switch kind {
+		case TokIdent:
+			want = "identifier"
+		case TokInt:
+			want = "integer"
+		default:
+			want = "token"
+		}
+	}
+	return Token{}, errf(p.file, p.cur().Pos, "expected %s, found %s", want, p.cur())
+}
+
+func (p *parser) parseType() (Type, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return TVoid, errf(p.file, t.Pos, "expected type, found %s", t)
+	}
+	p.bump()
+	switch t.Text {
+	case "int":
+		return TInt, nil
+	case "float":
+		return TFloat, nil
+	case "bool":
+		return TBool, nil
+	case "array1":
+		return TArray1, nil
+	case "array2":
+		return TArray2, nil
+	}
+	return TVoid, errf(p.file, t.Pos, "expected type, found %s", t)
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw, err := p.expect(TokKeyword, "func")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Name: name.Text, Pos: kw.Pos}
+	for !p.at(TokPunct, ")") {
+		if len(fd.Params) > 0 {
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fd.Params = append(fd.Params, ParamDecl{Name: pn.Text, Type: pt, Pos: pn.Pos})
+	}
+	p.bump() // ')'
+	if p.eat(TokPunct, "->") {
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fd.Ret = rt
+	}
+	body, err := p.blockStmt()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) blockStmt() (*BlockStmt, error) {
+	open, err := p.expect(TokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: open.Pos}
+	for !p.at(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, errf(p.file, p.cur().Pos, "unterminated block (missing '}')")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.bump()
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokKeyword && t.Text == "for":
+		return p.forStmt()
+	case t.Kind == TokKeyword && t.Text == "while":
+		p.bump()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.blockStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "if":
+		return p.ifStmt()
+	case t.Kind == TokKeyword && t.Text == "return":
+		p.bump()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "next":
+		p.bump()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &NextStmt{Name: name.Text, X: x, Pos: t.Pos}, nil
+	case t.Kind == TokIdent:
+		// Disambiguate: binding, store, or call statement.
+		if p.toks[p.i+1].Kind == TokPunct {
+			switch p.toks[p.i+1].Text {
+			case "=":
+				p.bump()
+				p.bump()
+				x, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokPunct, ";"); err != nil {
+					return nil, err
+				}
+				return &AssignStmt{Name: t.Text, X: x, Pos: t.Pos}, nil
+			case "[":
+				save := p.i
+				p.bump()
+				p.bump()
+				idx, err := p.exprList("]")
+				if err != nil {
+					return nil, err
+				}
+				if p.eat(TokPunct, "=") {
+					x, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(TokPunct, ";"); err != nil {
+						return nil, err
+					}
+					return &StoreStmt{Array: t.Text, Idx: idx, X: x, Pos: t.Pos}, nil
+				}
+				p.i = save // it was an expression like `A[i];`
+			}
+		}
+		fallthrough
+	default:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Pos: t.Pos}, nil
+	}
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw := p.bump()
+	v, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "="); err != nil {
+		return nil, err
+	}
+	from, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	down := false
+	if p.eat(TokKeyword, "downto") {
+		down = true
+	} else if _, err := p.expect(TokKeyword, "to"); err != nil {
+		return nil, err
+	}
+	to, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.blockStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: v.Text, From: from, To: to, Down: down, Body: body, Pos: kw.Pos}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.bump()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.blockStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: kw.Pos}
+	if p.eat(TokKeyword, "else") {
+		if p.at(TokKeyword, "if") {
+			inner, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &BlockStmt{Stmts: []Stmt{inner}, Pos: inner.stmtPos()}
+		} else {
+			els, err := p.blockStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) exprList(close string) ([]Expr, error) {
+	var out []Expr
+	for !p.at(TokPunct, close) {
+		if len(out) > 0 {
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+	}
+	p.bump()
+	return out, nil
+}
+
+// expr parses an expression, including `if c then a else b`.
+func (p *parser) expr() (Expr, error) {
+	if p.at(TokKeyword, "if") {
+		kw := p.bump()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "then"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "else"); err != nil {
+			return nil, err
+		}
+		els, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &IfExpr{Cond: cond, Then: then, Else: els, Pos: kw.Pos}, nil
+	}
+	return p.orExpr()
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPunct, "||") {
+		op := p.bump()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "||", L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPunct, "&&") {
+		op := p.bump()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "&&", L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]bool{"<": true, "<=": true, ">": true, ">=": true, "==": true, "!=": true}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokPunct && cmpOps[p.cur().Text] {
+		op := p.bump()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: op.Text, L: l, R: r, Pos: op.Pos}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPunct, "+") || p.at(TokPunct, "-") {
+		op := p.bump()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op.Text, L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPunct, "*") || p.at(TokPunct, "/") || p.at(TokPunct, "%") {
+		op := p.bump()
+		r, err := p.unExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op.Text, L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) unExpr() (Expr, error) {
+	if p.at(TokPunct, "-") || p.at(TokPunct, "!") {
+		op := p.bump()
+		x, err := p.unExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: op.Text, X: x, Pos: op.Pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.bump()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(p.file, t.Pos, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{Val: v, Pos: t.Pos}, nil
+	case t.Kind == TokFloat:
+		p.bump()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(p.file, t.Pos, "bad float literal %q", t.Text)
+		}
+		return &FloatLit{Val: v, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && (t.Text == "true" || t.Text == "false"):
+		p.bump()
+		return &BoolLit{Val: t.Text == "true", Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && (t.Text == "float" || t.Text == "int"):
+		// Conversion intrinsics share their spelling with type keywords.
+		p.bump()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		args, err := p.exprList(")")
+		if err != nil {
+			return nil, err
+		}
+		return &CallExpr{Name: t.Text, Args: args, Pos: t.Pos}, nil
+	case t.Kind == TokPunct && t.Text == "(":
+		p.bump()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.Kind == TokIdent:
+		p.bump()
+		switch {
+		case p.at(TokPunct, "("):
+			p.bump()
+			args, err := p.exprList(")")
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Name: t.Text, Args: args, Pos: t.Pos}, nil
+		case p.at(TokPunct, "["):
+			p.bump()
+			idx, err := p.exprList("]")
+			if err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Array: t.Text, Idx: idx, Pos: t.Pos}, nil
+		default:
+			return &Ident{Name: t.Text, Pos: t.Pos}, nil
+		}
+	}
+	return nil, errf(p.file, t.Pos, "expected expression, found %s", t)
+}

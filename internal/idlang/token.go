@@ -1,0 +1,67 @@
+// Package idlang implements Idlite, an Id Nouveau-inspired single-assignment
+// language (paper §2): scalars bind exactly once, arrays are I-structures
+// written at most once per element, loops may carry scalars with `next`, and
+// all parallelism is implicit. The compiler lowers source to the dataflow
+// graph IR of internal/graph, which stands in for the MIT Id Nouveau
+// compiler in the PODS pipeline (paper Figure 3).
+package idlang
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokInt
+	TokFloat
+	TokKeyword
+	TokPunct
+)
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"func": true, "for": true, "to": true, "downto": true, "while": true,
+	"if": true, "then": true, "else": true, "return": true,
+	"next": true, "true": true, "false": true,
+	"int": true, "float": true, "bool": true,
+	"array1": true, "array2": true,
+}
+
+// Error is a source-located compile error.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}
+
+func errf(file string, pos Pos, format string, args ...interface{}) error {
+	return &Error{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

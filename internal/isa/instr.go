@@ -1,0 +1,80 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// None marks an unused slot operand or jump target.
+const None = -1
+
+// Instr is one SP instruction. Operand fields A, B and the Args list are
+// frame-slot indices; Dst is the frame slot receiving the result. Target is
+// a code index for control transfer. Imm carries immediate payloads: the
+// constant for CONST, the child template ID for SPAWN/SPAWND, the
+// destination slot for SEND, and the dimension for ownership queries.
+type Instr struct {
+	Op     Opcode
+	Dst    int
+	A, B   int
+	Args   []int
+	Imm    Value
+	Target int
+
+	// Comment is an optional human-readable annotation carried through
+	// translation (source variable names, RF markers) for listings.
+	Comment string
+}
+
+// Inputs appends the instruction's input slot indices to buf and returns it.
+// It is used by the executors to test operand presence before firing.
+func (in *Instr) Inputs(buf []int) []int {
+	if in.A != None {
+		buf = append(buf, in.A)
+	}
+	if in.B != None {
+		buf = append(buf, in.B)
+	}
+	buf = append(buf, in.Args...)
+	return buf
+}
+
+// String renders the instruction for listings and error messages.
+func (in *Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Dst != None {
+		fmt.Fprintf(&b, " s%d <-", in.Dst)
+	}
+	if in.A != None {
+		fmt.Fprintf(&b, " s%d", in.A)
+	}
+	if in.B != None {
+		fmt.Fprintf(&b, " s%d", in.B)
+	}
+	if len(in.Args) > 0 {
+		b.WriteString(" [")
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "s%d", a)
+		}
+		b.WriteByte(']')
+	}
+	if in.Imm.Kind != KindInvalid {
+		fmt.Fprintf(&b, " imm=%s", in.Imm.String())
+	}
+	if in.Target != None && in.Op.IsBranch() {
+		fmt.Fprintf(&b, " ->%d", in.Target)
+	}
+	if in.Comment != "" {
+		fmt.Fprintf(&b, "  ; %s", in.Comment)
+	}
+	return b.String()
+}
+
+// NewInstr returns an Instr with all operand fields cleared to None.
+func NewInstr(op Opcode) Instr {
+	return Instr{Op: op, Dst: None, A: None, B: None, Target: None}
+}

@@ -1,0 +1,219 @@
+// Package istructure implements the paper's single-assignment array memory:
+// I-structures with presence bits and deferred reads (§2, §5.1), row-major
+// paging, segment-per-PE partitioning with the first-element row-ownership
+// rule (§4.1, §4.2.3), and the software page cache used for remote reads
+// (§4, "remote data caching").
+package istructure
+
+import (
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// Header is the array header built on every PE when an array is allocated:
+// "the array dimensions and, for each dimension, the starting and ending
+// indices", plus the paging/partitioning geometry each PE needs to locate
+// owners and answer Range-Filter queries (§4.1).
+//
+// Arrays are 1-based along every dimension (Idlite convention, matching the
+// paper's examples "for i = 1 to 50").
+type Header struct {
+	ID        int64
+	Name      string
+	Dims      []int // extent of each dimension
+	PageElems int   // page size in elements
+	NumPEs    int   // number of segments
+	Dist      bool  // distributed (true) or purely local to Origin
+	Origin    int   // allocating PE (owner of everything when !Dist)
+}
+
+// NewHeader validates the geometry and builds a header.
+func NewHeader(id int64, name string, dims []int, pageElems, numPEs, origin int, dist bool) (*Header, error) {
+	if len(dims) == 0 || len(dims) > 2 {
+		return nil, fmt.Errorf("array %q: %d dimensions unsupported (1 or 2)", name, len(dims))
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("array %q: non-positive extent %d", name, d)
+		}
+	}
+	if pageElems <= 0 {
+		pageElems = timing.DefaultPageElems
+	}
+	if numPEs <= 0 {
+		return nil, fmt.Errorf("array %q: numPEs %d", name, numPEs)
+	}
+	if origin < 0 || origin >= numPEs {
+		return nil, fmt.Errorf("array %q: origin PE %d out of [0,%d)", name, origin, numPEs)
+	}
+	h := &Header{ID: id, Name: name, Dims: append([]int(nil), dims...),
+		PageElems: pageElems, NumPEs: numPEs, Dist: dist, Origin: origin}
+	return h, nil
+}
+
+// Elems is the total number of elements.
+func (h *Header) Elems() int {
+	n := 1
+	for _, d := range h.Dims {
+		n *= d
+	}
+	return n
+}
+
+// RowLen is the length of one row (the extent of the last dimension).
+func (h *Header) RowLen() int { return h.Dims[len(h.Dims)-1] }
+
+// Pages is the number of fixed-size pages covering the array (§4.1 step 1:
+// "the array is cut-up row-major into pages of a fixed size").
+func (h *Header) Pages() int {
+	return (h.Elems() + h.PageElems - 1) / h.PageElems
+}
+
+// Offset converts 1-based indices to the row-major linear offset, mirroring
+// the paper's "offset = size_dim2 * i + j" pseudo-code. It returns an error
+// for out-of-bounds accesses.
+func (h *Header) Offset(idx []int64) (int, error) {
+	if len(idx) != len(h.Dims) {
+		return 0, fmt.Errorf("array %q: %d indices for %d dims", h.Name, len(idx), len(h.Dims))
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 1 || i > int64(h.Dims[d]) {
+			return 0, &BoundsError{Array: h.Name, Dim: d, Index: i, Extent: h.Dims[d]}
+		}
+		off = off*h.Dims[d] + int(i-1)
+	}
+	return off, nil
+}
+
+// PageOf returns the page index containing linear offset off.
+func (h *Header) PageOf(off int) int { return off / h.PageElems }
+
+// segment boundaries: pages are grouped into NumPEs segments of
+// approximately equal size, assigned to PEs sequentially (§4.1 step 2).
+// Segment p covers pages [pageLo(p), pageLo(p+1)).
+func (h *Header) pageLo(pe int) int {
+	// Distribute pages as evenly as possible: the first (pages % numPEs)
+	// segments get one extra page.
+	pages := h.Pages()
+	q, r := pages/h.NumPEs, pages%h.NumPEs
+	if pe <= r {
+		return pe * (q + 1)
+	}
+	return r*(q+1) + (pe-r)*q
+}
+
+// SegmentPages returns the page range [lo, hi) assigned to a PE.
+func (h *Header) SegmentPages(pe int) (lo, hi int) {
+	if !h.Dist {
+		if pe == h.Origin {
+			return 0, h.Pages()
+		}
+		return 0, 0
+	}
+	return h.pageLo(pe), h.pageLo(pe + 1)
+}
+
+// SegmentElems returns the linear element range [lo, hi) owned by a PE.
+func (h *Header) SegmentElems(pe int) (lo, hi int) {
+	plo, phi := h.SegmentPages(pe)
+	lo = plo * h.PageElems
+	hi = phi * h.PageElems
+	if n := h.Elems(); hi > n {
+		hi = n
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// OwnerOf returns the PE owning the element at linear offset off.
+func (h *Header) OwnerOf(off int) int {
+	if !h.Dist {
+		return h.Origin
+	}
+	page := h.PageOf(off)
+	// Invert pageLo with the same quotient/remainder split.
+	pages := h.Pages()
+	q, r := pages/h.NumPEs, pages%h.NumPEs
+	if q == 0 {
+		// Fewer pages than PEs: page p belongs to PE p.
+		if page < pages {
+			return page
+		}
+		return h.NumPEs - 1
+	}
+	cut := r * (q + 1)
+	if page < cut {
+		return page / (q + 1)
+	}
+	return r + (page-cut)/q
+}
+
+// OwnedRows returns the inclusive 1-based range [lo, hi] of dimension-0
+// indices ("rows") that a PE is *responsible for computing* under the
+// first-element-ownership rule (§4.2.3): "the PE holding the first element
+// of any given row is responsible for the entire row". It returns ok=false
+// when the PE is responsible for no rows.
+func (h *Header) OwnedRows(pe int) (lo, hi int64, ok bool) {
+	rows := h.Dims[0]
+	rowLen := 1
+	if len(h.Dims) == 2 {
+		rowLen = h.Dims[1]
+	}
+	elo, ehi := h.SegmentElems(pe)
+	if elo >= ehi {
+		return 0, 0, false
+	}
+	// Rows whose first element offset r*rowLen falls in [elo, ehi).
+	first := (elo + rowLen - 1) / rowLen // ceil
+	last := (ehi - 1) / rowLen
+	if last > rows-1 {
+		last = rows - 1
+	}
+	if first > last {
+		return 0, 0, false
+	}
+	return int64(first + 1), int64(last + 1), true
+}
+
+// OwnedCols returns the inclusive 1-based range of dimension-1 indices of
+// row `row` whose elements live in this PE's segment — the in-row Range
+// Filter of Figure 5 ("the RF in PE1 produces the j range 0:255 when i is 0
+// but only 0:127 when i is 1"). ok=false when the PE holds none of the row.
+// For 1-D arrays, row is ignored and the owned element range is returned.
+func (h *Header) OwnedCols(pe int, row int64) (lo, hi int64, ok bool) {
+	elo, ehi := h.SegmentElems(pe)
+	if elo >= ehi {
+		return 0, 0, false
+	}
+	if len(h.Dims) == 1 {
+		return int64(elo + 1), int64(ehi), true
+	}
+	if row < 1 || row > int64(h.Dims[0]) {
+		return 0, 0, false
+	}
+	rowLen := h.Dims[1]
+	rstart := int(row-1) * rowLen
+	rend := rstart + rowLen // exclusive
+	lo64 := max(elo, rstart)
+	hi64 := min(ehi, rend)
+	if lo64 >= hi64 {
+		return 0, 0, false
+	}
+	return int64(lo64-rstart) + 1, int64(hi64 - rstart), true
+}
+
+// BoundsError reports an out-of-range array access.
+type BoundsError struct {
+	Array  string
+	Dim    int
+	Index  int64
+	Extent int
+}
+
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("array %q: index %d out of range [1,%d] in dim %d", e.Array, e.Index, e.Extent, e.Dim)
+}

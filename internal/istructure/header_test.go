@@ -1,0 +1,280 @@
+package istructure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustHeader(t *testing.T, dims []int, pageElems, numPEs int) *Header {
+	t.Helper()
+	h, err := NewHeader(1, "A", dims, pageElems, numPEs, 0, true)
+	if err != nil {
+		t.Fatalf("NewHeader: %v", err)
+	}
+	return h
+}
+
+// TestPaperPartitioningExample reproduces the paper's §4.1 example: a 6×256
+// array over 4 PEs with 32-element pages has 1536 elements, 48 pages,
+// 12 pages per PE.
+func TestPaperPartitioningExample(t *testing.T) {
+	h := mustHeader(t, []int{6, 256}, 32, 4)
+	if got := h.Elems(); got != 1536 {
+		t.Fatalf("Elems = %d, want 1536", got)
+	}
+	if got := h.Pages(); got != 48 {
+		t.Fatalf("Pages = %d, want 48", got)
+	}
+	for pe := 0; pe < 4; pe++ {
+		lo, hi := h.SegmentPages(pe)
+		if hi-lo != 12 {
+			t.Errorf("PE%d: %d pages, want 12", pe, hi-lo)
+		}
+		if lo != pe*12 {
+			t.Errorf("PE%d: segment starts at page %d, want %d", pe, lo, pe*12)
+		}
+	}
+}
+
+// TestPaperRowResponsibility checks the Figure 6 index-space partitioning:
+// with the first-element rule, PE1 (index 0) is responsible for rows 1-2,
+// PE2 for row 3, PE3 for rows 4, PE4 for rows 5-6... The paper's figure
+// (0-based rows 0..5): PE1 owns rows 0,1; PE2 row 2; PE3 rows 3,4(start);
+// we verify the rule directly: responsibility goes to the PE holding the
+// row's first element, and responsibilities are a disjoint cover.
+func TestPaperRowResponsibility(t *testing.T) {
+	h := mustHeader(t, []int{6, 256}, 32, 4)
+	// Each PE owns elements [pe*384, (pe+1)*384). Row r starts at r*256.
+	// Row starts: 0,256,512,768,1024,1280 → owners 0,0,1,2,2,3.
+	wantOwner := []int{0, 0, 1, 2, 2, 3}
+	for r := 0; r < 6; r++ {
+		owner := h.OwnerOf(r * 256)
+		if owner != wantOwner[r] {
+			t.Errorf("row %d first-element owner = PE%d, want PE%d", r, owner, wantOwner[r])
+		}
+	}
+	covered := make(map[int64]int)
+	for pe := 0; pe < 4; pe++ {
+		lo, hi, ok := h.OwnedRows(pe)
+		if !ok {
+			continue
+		}
+		for r := lo; r <= hi; r++ {
+			if prev, dup := covered[r]; dup {
+				t.Fatalf("row %d assigned to both PE%d and PE%d", r, prev, pe)
+			}
+			covered[r] = pe
+		}
+	}
+	if len(covered) != 6 {
+		t.Fatalf("rows covered = %d, want 6", len(covered))
+	}
+	// Spot-check against the first-element rule.
+	for r := 1; r <= 6; r++ {
+		if covered[int64(r)] != wantOwner[r-1] {
+			t.Errorf("row %d responsible PE = %d, want %d", r, covered[int64(r)], wantOwner[r-1])
+		}
+	}
+}
+
+// TestFigure5InnerRange checks the in-row (j) ranges of Figure 4/5: "the RF
+// in PE1 produces the j range 0:255 when i is 0 but only 0:127 when i is 1"
+// (paper uses 0-based indices; ours are 1-based).
+func TestFigure5InnerRange(t *testing.T) {
+	h := mustHeader(t, []int{6, 256}, 32, 4)
+	lo, hi, ok := h.OwnedCols(0, 1) // PE1, row i=1 (paper's i=0)
+	if !ok || lo != 1 || hi != 256 {
+		t.Errorf("PE0 row1: [%d,%d] ok=%v, want [1,256]", lo, hi, ok)
+	}
+	lo, hi, ok = h.OwnedCols(0, 2) // PE1, row i=2 (paper's i=1): first half
+	if !ok || lo != 1 || hi != 128 {
+		t.Errorf("PE0 row2: [%d,%d] ok=%v, want [1,128]", lo, hi, ok)
+	}
+	lo, hi, ok = h.OwnedCols(1, 2) // PE2 holds the second half of row 2
+	if !ok || lo != 129 || hi != 256 {
+		t.Errorf("PE1 row2: [%d,%d] ok=%v, want [129,256]", lo, hi, ok)
+	}
+}
+
+func TestOffsetRowMajor(t *testing.T) {
+	h := mustHeader(t, []int{4, 5}, 32, 2)
+	off, err := h.Offset([]int64{1, 1})
+	if err != nil || off != 0 {
+		t.Fatalf("Offset(1,1) = %d, %v", off, err)
+	}
+	off, err = h.Offset([]int64{2, 3})
+	if err != nil || off != 7 {
+		t.Fatalf("Offset(2,3) = %d, %v; want 7", off, err)
+	}
+	if _, err = h.Offset([]int64{5, 1}); err == nil {
+		t.Fatal("Offset(5,1) should be out of bounds")
+	}
+	if _, err = h.Offset([]int64{0, 1}); err == nil {
+		t.Fatal("Offset(0,1) should be out of bounds (1-based)")
+	}
+	var be *BoundsError
+	_, err = h.Offset([]int64{1, 99})
+	if be, _ = err.(*BoundsError); be == nil {
+		t.Fatalf("want *BoundsError, got %v", err)
+	}
+}
+
+// TestSegmentsTileElements property: for random geometries, per-PE element
+// segments are disjoint and cover all elements; OwnerOf agrees with the
+// segment containing the offset.
+func TestSegmentsTileElements(t *testing.T) {
+	f := func(rowsU, colsU, pesU, pageU uint8) bool {
+		rows := int(rowsU%40) + 1
+		cols := int(colsU%70) + 1
+		pes := int(pesU%32) + 1
+		page := []int{4, 8, 16, 32}[int(pageU)%4]
+		h, err := NewHeader(1, "A", []int{rows, cols}, page, pes, 0, true)
+		if err != nil {
+			return false
+		}
+		total := 0
+		prevHi := 0
+		for pe := 0; pe < pes; pe++ {
+			lo, hi := h.SegmentElems(pe)
+			if lo != prevHi && lo < hi {
+				return false
+			}
+			if lo < hi {
+				prevHi = hi
+				total += hi - lo
+			}
+		}
+		if total != h.Elems() {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			off := rand.Intn(h.Elems())
+			owner := h.OwnerOf(off)
+			lo, hi := h.SegmentElems(owner)
+			if off < lo || off >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOwnedRowsDisjointCover property: row responsibilities tile [1, rows].
+func TestOwnedRowsDisjointCover(t *testing.T) {
+	f := func(rowsU, colsU, pesU uint8) bool {
+		rows := int(rowsU%64) + 1
+		cols := int(colsU%64) + 1
+		pes := int(pesU%32) + 1
+		h, err := NewHeader(1, "A", []int{rows, cols}, 32, pes, 0, true)
+		if err != nil {
+			return false
+		}
+		next := int64(1)
+		for pe := 0; pe < pes; pe++ {
+			lo, hi, ok := h.OwnedRows(pe)
+			if !ok {
+				continue
+			}
+			if lo != next || hi < lo {
+				return false
+			}
+			next = hi + 1
+		}
+		return next == int64(rows)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOwnedColsTileRows property: for every row, per-PE column ranges tile
+// [1, cols].
+func TestOwnedColsTileRows(t *testing.T) {
+	f := func(rowsU, colsU, pesU uint8) bool {
+		rows := int(rowsU%20) + 1
+		cols := int(colsU%50) + 1
+		pes := int(pesU%16) + 1
+		h, err := NewHeader(1, "A", []int{rows, cols}, 16, pes, 0, true)
+		if err != nil {
+			return false
+		}
+		for r := int64(1); r <= int64(rows); r++ {
+			next := int64(1)
+			for pe := 0; pe < pes; pe++ {
+				lo, hi, ok := h.OwnedCols(pe, r)
+				if !ok {
+					continue
+				}
+				if lo != next || hi < lo {
+					return false
+				}
+				next = hi + 1
+			}
+			if next != int64(cols)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalArrayAllOnOrigin(t *testing.T) {
+	h, err := NewHeader(7, "loc", []int{10}, 32, 4, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 0; pe < 4; pe++ {
+		lo, hi := h.SegmentElems(pe)
+		if pe == 2 {
+			if lo != 0 || hi != 10 {
+				t.Errorf("origin PE2 segment [%d,%d), want [0,10)", lo, hi)
+			}
+		} else if lo != hi {
+			t.Errorf("PE%d segment [%d,%d), want empty", pe, lo, hi)
+		}
+	}
+	if h.OwnerOf(5) != 2 {
+		t.Errorf("OwnerOf(5) = %d, want origin 2", h.OwnerOf(5))
+	}
+}
+
+func TestOneDimensionalOwnership(t *testing.T) {
+	h := mustHeader(t, []int{100}, 32, 3) // 100 elems, 4 pages: 2,1,1
+	lo, hi := h.SegmentPages(0)
+	if hi-lo != 2 {
+		t.Fatalf("PE0 pages = %d, want 2 (4 pages over 3 PEs)", hi-lo)
+	}
+	clo, chi, ok := h.OwnedCols(0, 1)
+	if !ok || clo != 1 || chi != 64 {
+		t.Errorf("PE0 1-D owned = [%d,%d] ok=%v, want [1,64]", clo, chi, ok)
+	}
+	clo, chi, ok = h.OwnedCols(2, 1)
+	if !ok || clo != 97 || chi != 100 {
+		t.Errorf("PE2 1-D owned = [%d,%d] ok=%v, want [97,100]", clo, chi, ok)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	if _, err := NewHeader(1, "x", nil, 32, 4, 0, true); err == nil {
+		t.Error("nil dims should fail")
+	}
+	if _, err := NewHeader(1, "x", []int{1, 2, 3}, 32, 4, 0, true); err == nil {
+		t.Error("3-D should fail")
+	}
+	if _, err := NewHeader(1, "x", []int{0}, 32, 4, 0, true); err == nil {
+		t.Error("zero extent should fail")
+	}
+	if _, err := NewHeader(1, "x", []int{4}, 32, 4, 9, true); err == nil {
+		t.Error("origin out of range should fail")
+	}
+	if h, err := NewHeader(1, "x", []int{4}, 0, 4, 0, true); err != nil || h.PageElems != 32 {
+		t.Errorf("pageElems 0 should default to 32: %v %+v", err, h)
+	}
+}

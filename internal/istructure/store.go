@@ -1,0 +1,289 @@
+package istructure
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Waiter identifies a deferred read: when the element is finally written,
+// the value must be delivered to slot Slot of SP instance SP on PE PE.
+type Waiter struct {
+	PE   int
+	SP   int64
+	Slot int
+}
+
+// RemoteWaiter records a PE that asked for a page element that was absent;
+// on write, the owner sends the (now fuller) page to that PE (§5.1 Array
+// Manager: "if it is absent, the request is queued in the target PE").
+type RemoteWaiter struct {
+	PE   int
+	SP   int64
+	Slot int
+}
+
+// Shard is one PE's slice of I-structure memory: for each array, the
+// elements of the pages in this PE's segment, with presence bits and
+// deferred-read queues, plus this PE's software page cache of remote data.
+type Shard struct {
+	PE     int
+	arrays map[int64]*localArray
+	cache  map[int64]map[int]*CachedPage
+
+	// Stats.
+	DeferredReads int64 // reads enqueued on absent local elements
+	CacheHits     int64 // remote reads satisfied from the page cache
+	CacheMisses   int64 // remote reads that had to fetch a page
+}
+
+type localArray struct {
+	h    *Header
+	base int // linear offset of first owned element
+	vals []isa.Value
+	set  []bool
+	// waiting maps owned linear offset → local waiters (deferred reads).
+	waiting map[int][]Waiter
+	// remoteWaiting maps owned linear offset → remote PEs to send the page
+	// to once the element is written.
+	remoteWaiting map[int][]RemoteWaiter
+}
+
+// CachedPage is a snapshot of a remote page: values plus presence bits as of
+// the time the page was shipped. Single assignment means entries never go
+// stale — absent entries may be filled by a later refetch, present entries
+// are final (§4: "a cached page will never have to be sent back").
+type CachedPage struct {
+	Vals []isa.Value
+	Set  []bool
+}
+
+// NewShard returns an empty shard for a PE.
+func NewShard(pe int) *Shard {
+	return &Shard{
+		PE:     pe,
+		arrays: make(map[int64]*localArray),
+		cache:  make(map[int64]map[int]*CachedPage),
+	}
+}
+
+// Install allocates this PE's segment of an array described by h. Every PE
+// installs the same header (the distributing allocate broadcast of §4.1).
+func (s *Shard) Install(h *Header) error {
+	if _, dup := s.arrays[h.ID]; dup {
+		return fmt.Errorf("pe %d: array id %d already installed", s.PE, h.ID)
+	}
+	lo, hi := h.SegmentElems(s.PE)
+	n := hi - lo
+	s.arrays[h.ID] = &localArray{
+		h:             h,
+		base:          lo,
+		vals:          make([]isa.Value, n),
+		set:           make([]bool, n),
+		waiting:       make(map[int][]Waiter),
+		remoteWaiting: make(map[int][]RemoteWaiter),
+	}
+	return nil
+}
+
+// Header returns the installed header for an array ID, or nil.
+func (s *Shard) Header(id int64) *Header {
+	if a := s.arrays[id]; a != nil {
+		return a.h
+	}
+	return nil
+}
+
+// Owns reports whether linear offset off of array id is in this PE's
+// segment.
+func (s *Shard) Owns(id int64, off int) bool {
+	a := s.arrays[id]
+	if a == nil {
+		return false
+	}
+	return off >= a.base && off < a.base+len(a.vals)
+}
+
+// ReadResult describes the outcome of a local read attempt.
+type ReadResult uint8
+
+// Read outcomes.
+const (
+	ReadHit      ReadResult = iota + 1 // value present, returned
+	ReadDeferred                       // element absent; waiter enqueued
+	ReadRemote                         // element not owned by this PE
+)
+
+// ReadLocal attempts to read an owned element; if absent, the waiter is
+// queued (I-structure deferred read). Returns ReadRemote when the offset is
+// not in this PE's segment.
+func (s *Shard) ReadLocal(id int64, off int, w Waiter) (isa.Value, ReadResult, error) {
+	a := s.arrays[id]
+	if a == nil {
+		return isa.Value{}, 0, fmt.Errorf("pe %d: read of unknown array %d", s.PE, id)
+	}
+	i := off - a.base
+	if i < 0 || i >= len(a.vals) {
+		return isa.Value{}, ReadRemote, nil
+	}
+	if a.set[i] {
+		return a.vals[i], ReadHit, nil
+	}
+	a.waiting[off] = append(a.waiting[off], w)
+	s.DeferredReads++
+	return isa.Value{}, ReadDeferred, nil
+}
+
+// Peek returns the element value if owned and present (no side effects).
+func (s *Shard) Peek(id int64, off int) (isa.Value, bool) {
+	a := s.arrays[id]
+	if a == nil {
+		return isa.Value{}, false
+	}
+	i := off - a.base
+	if i < 0 || i >= len(a.vals) || !a.set[i] {
+		return isa.Value{}, false
+	}
+	return a.vals[i], true
+}
+
+// SingleAssignmentError reports a second write to an I-structure element
+// ("attempts to rewrite a value [are reported] as a single-assignment
+// violation", §2).
+type SingleAssignmentError struct {
+	Array string
+	Off   int
+}
+
+func (e *SingleAssignmentError) Error() string {
+	return fmt.Sprintf("single-assignment violation: array %q element offset %d written twice", e.Array, e.Off)
+}
+
+// Write stores an owned element and returns the local waiters and remote
+// page-waiters to release. A second write to the same element is a
+// single-assignment violation.
+func (s *Shard) Write(id int64, off int, v isa.Value) (local []Waiter, remote []RemoteWaiter, err error) {
+	a := s.arrays[id]
+	if a == nil {
+		return nil, nil, fmt.Errorf("pe %d: write to unknown array %d", s.PE, id)
+	}
+	i := off - a.base
+	if i < 0 || i >= len(a.vals) {
+		return nil, nil, fmt.Errorf("pe %d: write to non-owned offset %d of array %q", s.PE, off, a.h.Name)
+	}
+	if a.set[i] {
+		return nil, nil, &SingleAssignmentError{Array: a.h.Name, Off: off}
+	}
+	a.vals[i] = v
+	a.set[i] = true
+	local = a.waiting[off]
+	delete(a.waiting, off)
+	remote = a.remoteWaiting[off]
+	delete(a.remoteWaiting, off)
+	return local, remote, nil
+}
+
+// QueueRemote records a remote PE waiting for an absent owned element
+// (a deferred read whose reader lives on another PE, §5.1).
+func (s *Shard) QueueRemote(id int64, off int, rw RemoteWaiter) error {
+	a := s.arrays[id]
+	if a == nil {
+		return fmt.Errorf("pe %d: remote queue on unknown array %d", s.PE, id)
+	}
+	i := off - a.base
+	if i < 0 || i >= len(a.vals) {
+		return fmt.Errorf("pe %d: remote queue on non-owned offset %d", s.PE, off)
+	}
+	a.remoteWaiting[off] = append(a.remoteWaiting[off], rw)
+	s.DeferredReads++
+	return nil
+}
+
+// ExtractPage snapshots the owned page containing off for shipment to a
+// requester ("this PE extracts the entire page containing that element and
+// returns it", §4). The snapshot covers the intersection of the page with
+// this PE's segment.
+func (s *Shard) ExtractPage(id int64, off int) (pageIdx int, pg *CachedPage, elems int, err error) {
+	a := s.arrays[id]
+	if a == nil {
+		return 0, nil, 0, fmt.Errorf("pe %d: extract page of unknown array %d", s.PE, id)
+	}
+	h := a.h
+	pageIdx = h.PageOf(off)
+	plo := pageIdx * h.PageElems
+	phi := plo + h.PageElems
+	if n := h.Elems(); phi > n {
+		phi = n
+	}
+	lo := max(plo, a.base)
+	hi := min(phi, a.base+len(a.vals))
+	if lo >= hi {
+		return 0, nil, 0, fmt.Errorf("pe %d: page %d of array %q not owned", s.PE, pageIdx, h.Name)
+	}
+	n := phi - plo
+	pg = &CachedPage{Vals: make([]isa.Value, n), Set: make([]bool, n)}
+	for o := lo; o < hi; o++ {
+		pg.Vals[o-plo] = a.vals[o-a.base]
+		pg.Set[o-plo] = a.set[o-a.base]
+	}
+	return pageIdx, pg, n, nil
+}
+
+// InstallPage stores a received remote page in the software cache,
+// overwriting any older (necessarily subset) snapshot.
+func (s *Shard) InstallPage(id int64, pageIdx int, pg *CachedPage) {
+	m := s.cache[id]
+	if m == nil {
+		m = make(map[int]*CachedPage)
+		s.cache[id] = m
+	}
+	m[pageIdx] = pg
+}
+
+// CacheLookup probes the software cache for an element. hitPage reports the
+// page being cached at all; hitElem that the element was present in it.
+func (s *Shard) CacheLookup(id int64, h *Header, off int) (v isa.Value, hitPage, hitElem bool) {
+	m := s.cache[id]
+	if m == nil {
+		return isa.Value{}, false, false
+	}
+	pg := m[h.PageOf(off)]
+	if pg == nil {
+		return isa.Value{}, false, false
+	}
+	i := off - h.PageOf(off)*h.PageElems
+	if i < 0 || i >= len(pg.Vals) || !pg.Set[i] {
+		return isa.Value{}, true, false
+	}
+	return pg.Vals[i], true, true
+}
+
+// PendingReads returns the number of deferred local reads still queued
+// across all arrays — used for deadlock diagnostics.
+func (s *Shard) PendingReads() int {
+	n := 0
+	for _, a := range s.arrays {
+		for _, ws := range a.waiting {
+			n += len(ws)
+		}
+		for _, ws := range a.remoteWaiting {
+			n += len(ws)
+		}
+	}
+	return n
+}
+
+// Filled returns how many owned elements of array id have been written.
+func (s *Shard) Filled(id int64) int {
+	a := s.arrays[id]
+	if a == nil {
+		return 0
+	}
+	n := 0
+	for _, b := range a.set {
+		if b {
+			n++
+		}
+	}
+	return n
+}

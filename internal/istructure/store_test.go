@@ -1,0 +1,299 @@
+package istructure
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func newTestShards(t *testing.T, dims []int, pes int) ([]*Shard, *Header) {
+	t.Helper()
+	h, err := NewHeader(1, "A", dims, 8, pes, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*Shard, pes)
+	for pe := 0; pe < pes; pe++ {
+		shards[pe] = NewShard(pe)
+		if err := shards[pe].Install(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return shards, h
+}
+
+func TestWriteThenRead(t *testing.T) {
+	shards, h := newTestShards(t, []int{4, 4}, 2)
+	off, _ := h.Offset([]int64{1, 2})
+	owner := h.OwnerOf(off)
+	if _, _, err := shards[owner].Write(1, off, isa.Float(3.5)); err != nil {
+		t.Fatal(err)
+	}
+	v, res, err := shards[owner].ReadLocal(1, off, Waiter{})
+	if err != nil || res != ReadHit || v.F != 3.5 {
+		t.Fatalf("read = %v res=%d err=%v, want hit 3.5", v, res, err)
+	}
+}
+
+func TestDeferredReadReleasedByWrite(t *testing.T) {
+	shards, h := newTestShards(t, []int{4, 4}, 2)
+	off, _ := h.Offset([]int64{1, 1})
+	owner := h.OwnerOf(off)
+	w := Waiter{PE: 1, SP: 42, Slot: 7}
+	_, res, err := shards[owner].ReadLocal(1, off, w)
+	if err != nil || res != ReadDeferred {
+		t.Fatalf("res=%d err=%v, want deferred", res, err)
+	}
+	if shards[owner].DeferredReads != 1 {
+		t.Errorf("DeferredReads = %d, want 1", shards[owner].DeferredReads)
+	}
+	local, remote, err := shards[owner].Write(1, off, isa.Int(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != 1 || local[0] != w {
+		t.Fatalf("released local waiters %v, want [%v]", local, w)
+	}
+	if len(remote) != 0 {
+		t.Fatalf("released remote waiters %v, want none", remote)
+	}
+	// A second write must be a single-assignment violation.
+	_, _, err = shards[owner].Write(1, off, isa.Int(10))
+	var sav *SingleAssignmentError
+	if !errors.As(err, &sav) {
+		t.Fatalf("second write err = %v, want SingleAssignmentError", err)
+	}
+}
+
+func TestRemoteWaiterReleasedByWrite(t *testing.T) {
+	shards, h := newTestShards(t, []int{4, 4}, 2)
+	off, _ := h.Offset([]int64{1, 1})
+	owner := h.OwnerOf(off)
+	rw := RemoteWaiter{PE: 1, SP: 5, Slot: 3}
+	if err := shards[owner].QueueRemote(1, off, rw); err != nil {
+		t.Fatal(err)
+	}
+	_, remote, err := shards[owner].Write(1, off, isa.Int(1))
+	if err != nil || len(remote) != 1 || remote[0] != rw {
+		t.Fatalf("remote=%v err=%v, want [%v]", remote, err, rw)
+	}
+}
+
+func TestReadNotOwnedIsRemote(t *testing.T) {
+	shards, h := newTestShards(t, []int{4, 4}, 2)
+	// Find an offset owned by PE1 and read it from PE0's shard.
+	off := 0
+	for o := 0; o < h.Elems(); o++ {
+		if h.OwnerOf(o) == 1 {
+			off = o
+			break
+		}
+	}
+	_, res, err := shards[0].ReadLocal(1, off, Waiter{})
+	if err != nil || res != ReadRemote {
+		t.Fatalf("res=%d err=%v, want remote", res, err)
+	}
+}
+
+func TestPageExtractInstallLookup(t *testing.T) {
+	shards, h := newTestShards(t, []int{4, 4}, 2)
+	off, _ := h.Offset([]int64{1, 3})
+	owner := h.OwnerOf(off)
+	if _, _, err := shards[owner].Write(1, off, isa.Float(2.25)); err != nil {
+		t.Fatal(err)
+	}
+	pageIdx, pg, elems, err := shards[owner].ExtractPage(1, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elems != 8 {
+		t.Errorf("page elems = %d, want 8", elems)
+	}
+	other := 1 - owner
+	shards[other].InstallPage(1, pageIdx, pg)
+	v, hitPage, hitElem := shards[other].CacheLookup(1, h, off)
+	if !hitPage || !hitElem || v.F != 2.25 {
+		t.Fatalf("cache lookup = %v %v %v, want hit 2.25", v, hitPage, hitElem)
+	}
+	// An element absent at extraction time stays a miss.
+	off2, _ := h.Offset([]int64{1, 4})
+	if h.PageOf(off2) != pageIdx {
+		t.Fatalf("test setup: offsets not on same page")
+	}
+	_, hitPage, hitElem = shards[other].CacheLookup(1, h, off2)
+	if !hitPage || hitElem {
+		t.Fatalf("absent element: hitPage=%v hitElem=%v, want true,false", hitPage, hitElem)
+	}
+}
+
+func TestDoubleInstallFails(t *testing.T) {
+	shards, h := newTestShards(t, []int{4}, 1)
+	if err := shards[0].Install(h); err == nil {
+		t.Fatal("double install should fail")
+	}
+}
+
+// TestIStructureChurchRosser property: for a random set of (offset, value)
+// writes and interleaved reads in any order, every read eventually observes
+// exactly the written value — reads before the write are deferred and then
+// released with the same value.
+func TestIStructureChurchRosser(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHeader(1, "A", []int{16}, 8, 1, 0, true)
+		if err != nil {
+			return false
+		}
+		s := NewShard(0)
+		if err := s.Install(h); err != nil {
+			return false
+		}
+		want := make(map[int]int64)
+		type pending struct {
+			off int
+			w   Waiter
+		}
+		released := make(map[Waiter]isa.Value)
+		var ops []int // offsets to write, shuffled
+		for o := 0; o < 16; o++ {
+			want[o] = rng.Int63n(1000)
+			ops = append(ops, o)
+		}
+		rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+		got := make(map[Waiter]isa.Value)
+		wid := int64(0)
+		// Interleave reads and writes randomly.
+		reads := make([]pending, 0, 32)
+		for o := 0; o < 16; o++ {
+			reads = append(reads, pending{o, Waiter{SP: wid, Slot: o}})
+			wid++
+			reads = append(reads, pending{o, Waiter{SP: wid, Slot: o}})
+			wid++
+		}
+		rng.Shuffle(len(reads), func(i, j int) { reads[i], reads[j] = reads[j], reads[i] })
+		ri, wi := 0, 0
+		for ri < len(reads) || wi < len(ops) {
+			doRead := ri < len(reads) && (wi >= len(ops) || rng.Intn(2) == 0)
+			if doRead {
+				p := reads[ri]
+				ri++
+				v, res, err := s.ReadLocal(1, p.off, p.w)
+				if err != nil {
+					return false
+				}
+				if res == ReadHit {
+					got[p.w] = v
+				}
+			} else {
+				o := ops[wi]
+				wi++
+				local, _, err := s.Write(1, o, isa.Int(want[o]))
+				if err != nil {
+					return false
+				}
+				for _, w := range local {
+					released[w] = isa.Int(want[o])
+				}
+			}
+		}
+		for _, p := range reads {
+			var v isa.Value
+			var ok bool
+			if v, ok = got[p.w]; !ok {
+				if v, ok = released[p.w]; !ok {
+					return false // read never satisfied
+				}
+			}
+			if v.I != want[p.off] {
+				return false
+			}
+		}
+		return s.PendingReads() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheNeverContradictsOwner property: a cached page entry, once
+// present, always equals the owner's value — the single-assignment
+// coherence argument of §4 ("a cached page will never have to be sent
+// back").
+func TestCacheNeverContradictsOwner(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHeader(1, "A", []int{8, 8}, 8, 2, 0, true)
+		if err != nil {
+			return false
+		}
+		owner, reader := NewShard(0), NewShard(1)
+		if owner.Install(h) != nil || reader.Install(h) != nil {
+			return false
+		}
+		lo, hi := h.SegmentElems(0)
+		// Random interleaving of writes on PE0 and page pulls into PE1.
+		offs := rng.Perm(hi - lo)
+		for step, k := range offs {
+			if _, _, err := owner.Write(1, lo+k, isa.Int(int64(k*7))); err != nil {
+				return false
+			}
+			if step%3 == 0 {
+				pageIdx, pg, _, err := owner.ExtractPage(1, lo+k)
+				if err != nil {
+					return false
+				}
+				reader.InstallPage(1, pageIdx, pg)
+			}
+		}
+		// Every cached-present element must equal the owner's value.
+		for off := lo; off < hi; off++ {
+			cv, _, hitElem := reader.CacheLookup(1, h, off)
+			if !hitElem {
+				continue
+			}
+			ov, present := owner.Peek(1, off)
+			if !present || !cv.Equal(ov) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractPageErrors(t *testing.T) {
+	s := NewShard(0)
+	if _, _, _, err := s.ExtractPage(9, 0); err == nil {
+		t.Fatal("unknown array should fail")
+	}
+	h, _ := NewHeader(1, "A", []int{16}, 8, 2, 0, true)
+	_ = s.Install(h)
+	// Offset owned by the other PE.
+	if _, _, _, err := s.ExtractPage(1, 15); err == nil {
+		t.Fatal("non-owned page should fail")
+	}
+}
+
+func TestFilledAndPendingCounters(t *testing.T) {
+	h, _ := NewHeader(1, "A", []int{8}, 8, 1, 0, true)
+	s := NewShard(0)
+	_ = s.Install(h)
+	if s.Filled(1) != 0 {
+		t.Fatal("fresh array should be empty")
+	}
+	_, res, _ := s.ReadLocal(1, 3, Waiter{SP: 1, Slot: 0})
+	if res != ReadDeferred || s.PendingReads() != 1 {
+		t.Fatalf("res=%v pending=%d", res, s.PendingReads())
+	}
+	if _, _, err := s.Write(1, 3, isa.Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingReads() != 0 || s.Filled(1) != 1 {
+		t.Fatalf("pending=%d filled=%d", s.PendingReads(), s.Filled(1))
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"repro/internal/isa"
+)
+
+// asm is a tiny test assembler for hand-building SP templates.
+type asm struct {
+	t      *isa.Template
+	labels map[string]int
+	fixups map[int]string // code index → label
+}
+
+func newAsm(id int, name string, kind isa.TemplateKind, nparams, nslots int) *asm {
+	return &asm{
+		t: &isa.Template{
+			ID: id, Name: name, Kind: kind,
+			NParams: nparams, NSlots: nslots,
+			Names: map[string]int{},
+		},
+		labels: map[string]int{},
+		fixups: map[int]string{},
+	}
+}
+
+func (a *asm) emit(in isa.Instr) *asm {
+	a.t.Code = append(a.t.Code, in)
+	return a
+}
+
+func (a *asm) label(name string) *asm {
+	a.labels[name] = len(a.t.Code)
+	return a
+}
+
+func (a *asm) konst(dst int, v isa.Value) *asm {
+	in := isa.NewInstr(isa.CONST)
+	in.Dst, in.Imm = dst, v
+	return a.emit(in)
+}
+
+func (a *asm) move(dst, src int) *asm {
+	in := isa.NewInstr(isa.MOVE)
+	in.Dst, in.A = dst, src
+	return a.emit(in)
+}
+
+func (a *asm) clear(dst int) *asm {
+	in := isa.NewInstr(isa.CLEAR)
+	in.Dst = dst
+	return a.emit(in)
+}
+
+func (a *asm) bin(op isa.Opcode, dst, x, y int) *asm {
+	in := isa.NewInstr(op)
+	in.Dst, in.A, in.B = dst, x, y
+	return a.emit(in)
+}
+
+func (a *asm) un(op isa.Opcode, dst, x int) *asm {
+	in := isa.NewInstr(op)
+	in.Dst, in.A = dst, x
+	return a.emit(in)
+}
+
+func (a *asm) jump(label string) *asm {
+	in := isa.NewInstr(isa.JUMP)
+	a.fixups[len(a.t.Code)] = label
+	return a.emit(in)
+}
+
+func (a *asm) brfalse(cond int, label string) *asm {
+	in := isa.NewInstr(isa.BRFALSE)
+	in.A = cond
+	a.fixups[len(a.t.Code)] = label
+	return a.emit(in)
+}
+
+func (a *asm) brtrue(cond int, label string) *asm {
+	in := isa.NewInstr(isa.BRTRUE)
+	in.A = cond
+	a.fixups[len(a.t.Code)] = label
+	return a.emit(in)
+}
+
+func (a *asm) alloc(op isa.Opcode, dst int, name string, extents ...int) *asm {
+	in := isa.NewInstr(op)
+	in.Dst, in.Args, in.Comment = dst, extents, name
+	return a.emit(in)
+}
+
+func (a *asm) aread(dst, arr int, idx ...int) *asm {
+	in := isa.NewInstr(isa.AREAD)
+	in.Dst, in.A, in.Args = dst, arr, idx
+	return a.emit(in)
+}
+
+func (a *asm) awrite(arr, val int, idx ...int) *asm {
+	in := isa.NewInstr(isa.AWRITE)
+	in.A, in.B, in.Args = arr, val, idx
+	return a.emit(in)
+}
+
+func (a *asm) spawn(op isa.Opcode, tmplID int, args ...int) *asm {
+	in := isa.NewInstr(op)
+	in.Imm = isa.Int(int64(tmplID))
+	in.Args = args
+	return a.emit(in)
+}
+
+func (a *asm) send(ref, val, baseSlot int, off int64) *asm {
+	in := isa.NewInstr(isa.SEND)
+	in.A, in.B, in.Imm = ref, val, isa.Int(off)
+	if baseSlot != isa.None {
+		in.Args = []int{baseSlot}
+	}
+	return a.emit(in)
+}
+
+func (a *asm) self(dst int) *asm {
+	in := isa.NewInstr(isa.SELF)
+	in.Dst = dst
+	return a.emit(in)
+}
+
+func (a *asm) own(op isa.Opcode, dst, arr, aux int) *asm {
+	in := isa.NewInstr(op)
+	in.Dst, in.A, in.B = dst, arr, aux
+	return a.emit(in)
+}
+
+func (a *asm) halt() *asm { return a.emit(isa.NewInstr(isa.HALT)) }
+
+func (a *asm) done() *isa.Template {
+	for pc, lbl := range a.fixups {
+		target, ok := a.labels[lbl]
+		if !ok {
+			panic("asm: undefined label " + lbl)
+		}
+		a.t.Code[pc].Target = target
+	}
+	return a.t
+}

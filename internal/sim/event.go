@@ -1,0 +1,37 @@
+package sim
+
+import "container/heap"
+
+// event is one scheduled action in virtual time. Events are totally ordered
+// by (time, sequence number), making every simulation bit-for-bit
+// reproducible.
+type event struct {
+	t   int64
+	seq int64
+	fn  func(t int64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// at schedules fn at virtual time t.
+func (m *Machine) at(t int64, fn func(t int64)) {
+	m.seq++
+	heap.Push(&m.events, event{t: t, seq: m.seq, fn: fn})
+}

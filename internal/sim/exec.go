@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/timing"
+)
+
+// wakeEU ensures an EU stepping chain is active at or after time t. If a
+// chain is already active it will observe the new work itself.
+func (p *pe) wakeEU(t int64) {
+	if p.euActive {
+		return
+	}
+	p.euActive = true
+	start := t
+	if p.eu.free > start {
+		start = p.eu.free
+	}
+	p.m.at(start, func(tt int64) { p.euStep(tt, false) })
+}
+
+// euStep executes instructions for the current SP starting at time t.
+//
+// The EU runs *bursts* of pure instructions (and local present array reads)
+// inside a single event; any instruction with an external effect ends the
+// burst so that functional-unit occupancy stays causally ordered. When an
+// operand slot is absent, the EU first re-schedules itself at the current
+// time with settled=true so that all already-scheduled deliveries at earlier
+// virtual times are applied; if the operand is still absent on the settled
+// attempt, the SP blocks ("the SP is blocked and the PE switches to another
+// ready SP", §3) — or, in the control-driven baseline, the EU stalls.
+func (p *pe) euStep(t int64, settled bool) {
+	m := p.m
+	now := t
+	for {
+		if m.failed != nil {
+			p.euActive = false
+			return
+		}
+		if p.cur == nil {
+			if len(p.ready) == 0 {
+				p.euActive = false
+				if p.eu.free < now {
+					p.eu.free = now
+				}
+				return
+			}
+			p.cur = p.ready[0]
+			copy(p.ready, p.ready[1:])
+			p.ready = p.ready[:len(p.ready)-1]
+			p.cur.state = spRunning
+			if !m.cfg.ZeroOverhead {
+				now += timing.ContextSwitchTime
+				p.eu.busy += timing.ContextSwitchTime
+			}
+			m.counts.CtxSwitches++
+			settled = false
+		}
+		sp := p.cur
+		if sp.pc < 0 || sp.pc >= len(sp.tmpl.Code) {
+			m.fail(fmt.Errorf("sim: SP %q pc %d out of range", sp.tmpl.Name, sp.pc))
+			return
+		}
+		in := &sp.tmpl.Code[sp.pc]
+
+		if missing := firstAbsent(sp, in); missing != isa.None {
+			if !settled {
+				// Re-schedule at the current time so that deliveries already
+				// scheduled at virtual times ≤ now are applied before we
+				// decide to block (the burst may have advanced past them).
+				m.at(now, func(tt int64) { p.euStep(tt, true) })
+				return
+			}
+			sp.blocked = missing
+			sp.state = spBlocked
+			m.trace(now, p.id, "block SP#%d %q at pc %d on slot %d", sp.id, sp.tmpl.Name, sp.pc, missing)
+			p.cur = nil
+			continue // context-switch charge happens when the next SP is picked
+		}
+		settled = false
+
+		cost := p.instrCost(sp, in)
+		now += cost
+		p.eu.busy += cost
+		m.counts.Instructions++
+
+		halted, endBurst := p.perform(sp, in, now)
+		if m.failed != nil {
+			p.euActive = false
+			return
+		}
+		if halted {
+			p.cur = nil
+			continue
+		}
+		if endBurst {
+			if p.stallOn != isa.None {
+				// Control-driven baseline (§6): the EU waits out the
+				// remote access instead of multithreading over it.
+				slot := p.stallOn
+				p.stallOn = isa.None
+				if !sp.present[slot] {
+					sp.state = spStalled
+					sp.blocked = slot
+					p.euActive = false
+					if p.eu.free < now {
+						p.eu.free = now
+					}
+					return
+				}
+			}
+			m.at(now, func(tt int64) { p.euStep(tt, false) })
+			return
+		}
+	}
+}
+
+// firstAbsent returns the first absent input slot of in, or isa.None.
+func firstAbsent(sp *spInst, in *isa.Instr) int {
+	if in.A != isa.None && !sp.present[in.A] {
+		return in.A
+	}
+	if in.B != isa.None && !sp.present[in.B] {
+		return in.B
+	}
+	for _, a := range in.Args {
+		if !sp.present[a] {
+			return a
+		}
+	}
+	return isa.None
+}
+
+// instrCost returns the EU time for in, resolving comparison operand kinds.
+// In ZeroOverhead mode (the §5.3.4 hand-written-sequential stand-in) the
+// PODS control machinery — spawns, sends, continuation plumbing, Range
+// Filters — costs nothing: a compiled sequential program has none of it.
+func (p *pe) instrCost(sp *spInst, in *isa.Instr) int64 {
+	if p.m.cfg.ZeroOverhead {
+		switch in.Op {
+		case isa.SPAWN, isa.SPAWND, isa.SEND, isa.SELF, isa.CLEAR, isa.HALT,
+			isa.ALLOC, isa.ALLOCD, isa.NOP,
+			isa.ROWLO, isa.ROWHI, isa.COLLO, isa.COLHI, isa.UNIFLO, isa.UNIFHI:
+			return 0
+		}
+	}
+	floatCmp := false
+	switch in.Op {
+	case isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE, isa.CMPEQ, isa.CMPNE:
+		floatCmp = sp.frame[in.A].Kind == isa.KindFloat || sp.frame[in.B].Kind == isa.KindFloat
+	}
+	cost := timing.InstrTime(in.Op, floatCmp)
+	if !p.m.cfg.ZeroOverhead {
+		// SP operand slots live in Execution Memory (§3): every executed
+		// instruction reads its operands from slots and stores its result
+		// back, unlike register-allocated compiled code. Charge one memory
+		// reference per operand and per result.
+		nIn := len(in.Args)
+		if in.A != isa.None {
+			nIn++
+		}
+		if in.B != isa.None {
+			nIn++
+		}
+		cost += int64(nIn) * timing.MemReadTime
+		if in.Dst != isa.None {
+			cost += timing.MemWriteTime
+		}
+	}
+	return cost
+}
+
+// set stores a result in the SP frame.
+func (sp *spInst) set(slot int, v isa.Value) {
+	sp.frame[slot] = v
+	sp.present[slot] = true
+}
+
+// perform executes the semantic action of in at virtual time now (the time
+// the instruction completes on the EU). It returns whether the SP halted and
+// whether the burst must end. The program counter is advanced here.
+func (p *pe) perform(sp *spInst, in *isa.Instr, now int64) (halted, endBurst bool) {
+	m := p.m
+	f := sp.frame
+	next := sp.pc + 1
+
+	switch in.Op {
+	case isa.NOP:
+
+	case isa.CONST:
+		sp.set(in.Dst, in.Imm)
+	case isa.MOVE:
+		sp.set(in.Dst, f[in.A])
+	case isa.CLEAR:
+		sp.present[in.Dst] = false
+	case isa.SELF:
+		sp.set(in.Dst, isa.SPRef(sp.id))
+
+	case isa.IADD:
+		sp.set(in.Dst, isa.Int(f[in.A].AsInt()+f[in.B].AsInt()))
+	case isa.ISUB:
+		sp.set(in.Dst, isa.Int(f[in.A].AsInt()-f[in.B].AsInt()))
+	case isa.IMUL:
+		sp.set(in.Dst, isa.Int(f[in.A].AsInt()*f[in.B].AsInt()))
+	case isa.IDIV:
+		b := f[in.B].AsInt()
+		if b == 0 {
+			m.fail(fmt.Errorf("sim: SP %q pc %d: integer division by zero", sp.tmpl.Name, sp.pc))
+			return false, true
+		}
+		sp.set(in.Dst, isa.Int(f[in.A].AsInt()/b))
+	case isa.IMOD:
+		b := f[in.B].AsInt()
+		if b == 0 {
+			m.fail(fmt.Errorf("sim: SP %q pc %d: integer modulo by zero", sp.tmpl.Name, sp.pc))
+			return false, true
+		}
+		sp.set(in.Dst, isa.Int(f[in.A].AsInt()%b))
+	case isa.INEG:
+		sp.set(in.Dst, isa.Int(-f[in.A].AsInt()))
+
+	case isa.FADD:
+		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()+f[in.B].AsFloat()))
+	case isa.FSUB:
+		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()-f[in.B].AsFloat()))
+	case isa.FMUL:
+		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()*f[in.B].AsFloat()))
+	case isa.FDIV:
+		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()/f[in.B].AsFloat()))
+	case isa.FNEG:
+		sp.set(in.Dst, isa.Float(-f[in.A].AsFloat()))
+	case isa.FABS:
+		sp.set(in.Dst, isa.Float(math.Abs(f[in.A].AsFloat())))
+	case isa.FSQRT:
+		sp.set(in.Dst, isa.Float(math.Sqrt(f[in.A].AsFloat())))
+	case isa.FPOW:
+		sp.set(in.Dst, isa.Float(math.Pow(f[in.A].AsFloat(), f[in.B].AsFloat())))
+
+	case isa.CMPLT:
+		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c < 0 }))
+	case isa.CMPLE:
+		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c <= 0 }))
+	case isa.CMPGT:
+		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c > 0 }))
+	case isa.CMPGE:
+		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c >= 0 }))
+	case isa.CMPEQ:
+		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c == 0 }))
+	case isa.CMPNE:
+		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c != 0 }))
+
+	case isa.AND:
+		sp.set(in.Dst, isa.Bool(f[in.A].AsBool() && f[in.B].AsBool()))
+	case isa.OR:
+		sp.set(in.Dst, isa.Bool(f[in.A].AsBool() || f[in.B].AsBool()))
+	case isa.NOT:
+		sp.set(in.Dst, isa.Bool(!f[in.A].AsBool()))
+
+	case isa.MAX:
+		sp.set(in.Dst, maxValue(f[in.A], f[in.B]))
+	case isa.MIN:
+		sp.set(in.Dst, minValue(f[in.A], f[in.B]))
+
+	case isa.ITOF:
+		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()))
+	case isa.FTOI:
+		sp.set(in.Dst, isa.Int(f[in.A].AsInt()))
+
+	case isa.JUMP:
+		next = in.Target
+	case isa.BRFALSE:
+		if !f[in.A].AsBool() {
+			next = in.Target
+		}
+	case isa.BRTRUE:
+		if f[in.A].AsBool() {
+			next = in.Target
+		}
+
+	case isa.ROWLO, isa.ROWHI, isa.COLLO, isa.COLHI, isa.UNIFLO, isa.UNIFHI:
+		p.performOwnership(sp, in)
+
+	case isa.ALLOC, isa.ALLOCD:
+		endBurst = p.performAlloc(sp, in, now)
+	case isa.AREAD:
+		endBurst = p.performRead(sp, in, now)
+	case isa.AWRITE:
+		p.performWrite(sp, in, now)
+		endBurst = true
+	case isa.SPAWN:
+		p.performSpawn(sp, in, now, false)
+		endBurst = true
+	case isa.SPAWND:
+		p.performSpawn(sp, in, now, true)
+		endBurst = true
+	case isa.SEND:
+		p.performSend(sp, in, now)
+		endBurst = true
+
+	case isa.HALT:
+		m.trace(now, p.id, "halt SP#%d %q", sp.id, sp.tmpl.Name)
+		m.destroy(sp)
+		m.serve(&p.mm, now, timing.ReleaseSPTime, nil)
+		sp.pc = next
+		return true, false
+
+	default:
+		m.fail(fmt.Errorf("sim: SP %q pc %d: unimplemented opcode %s", sp.tmpl.Name, sp.pc, in.Op))
+		return false, true
+	}
+
+	sp.pc = next
+	return false, endBurst
+}
+
+func cmpValues(a, b isa.Value, ok func(int) bool) isa.Value {
+	var c int
+	if a.Kind == isa.KindFloat || b.Kind == isa.KindFloat {
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			c = -1
+		case af > bf:
+			c = 1
+		}
+	} else {
+		ai, bi := a.AsInt(), b.AsInt()
+		switch {
+		case ai < bi:
+			c = -1
+		case ai > bi:
+			c = 1
+		}
+	}
+	return isa.Bool(ok(c))
+}
+
+func maxValue(a, b isa.Value) isa.Value {
+	if a.Kind == isa.KindFloat || b.Kind == isa.KindFloat {
+		return isa.Float(math.Max(a.AsFloat(), b.AsFloat()))
+	}
+	if a.AsInt() >= b.AsInt() {
+		return a
+	}
+	return b
+}
+
+func minValue(a, b isa.Value) isa.Value {
+	if a.Kind == isa.KindFloat || b.Kind == isa.KindFloat {
+		return isa.Float(math.Min(a.AsFloat(), b.AsFloat()))
+	}
+	if a.AsInt() <= b.AsInt() {
+		return a
+	}
+	return b
+}
+
+// performOwnership answers Range-Filter queries against the local array
+// header (§4.2.2). Empty ownership yields an empty range (lo=1, hi=0 style)
+// so the filtered loop executes zero iterations.
+func (p *pe) performOwnership(sp *spInst, in *isa.Instr) {
+	m := p.m
+	if in.Op == isa.UNIFLO || in.Op == isa.UNIFHI {
+		lo := sp.frame[in.A].AsInt()
+		hi := sp.frame[in.B].AsInt()
+		n := hi - lo + 1
+		if n < 0 {
+			n = 0
+		}
+		pes := int64(m.cfg.NumPEs)
+		id := int64(p.id)
+		blo := lo + n*id/pes
+		bhi := lo + n*(id+1)/pes - 1
+		if in.Op == isa.UNIFLO {
+			sp.set(in.Dst, isa.Int(blo))
+		} else {
+			sp.set(in.Dst, isa.Int(bhi))
+		}
+		return
+	}
+	h := m.header(sp.frame[in.A].I)
+	if h == nil {
+		m.fail(fmt.Errorf("sim: SP %q pc %d: ownership query on unknown array", sp.tmpl.Name, sp.pc))
+		return
+	}
+	switch in.Op {
+	case isa.ROWLO, isa.ROWHI:
+		lo, hi, ok := h.OwnedRows(p.id)
+		if !ok {
+			lo, hi = 1, 0 // empty range
+		}
+		if in.Op == isa.ROWLO {
+			sp.set(in.Dst, isa.Int(lo))
+		} else {
+			sp.set(in.Dst, isa.Int(hi))
+		}
+	case isa.COLLO, isa.COLHI:
+		row := sp.frame[in.B].AsInt()
+		lo, hi, ok := h.OwnedCols(p.id, row)
+		if !ok {
+			lo, hi = 1, 0
+		}
+		if in.Op == isa.COLLO {
+			sp.set(in.Dst, isa.Int(lo))
+		} else {
+			sp.set(in.Dst, isa.Int(hi))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/timing"
+)
+
+// performSpawn implements the L operator (local spawn) and the distributing
+// L operator LD (§4.2.1): "In the case of LD, the same data value is
+// replicated and routed to all PEs, thus causing an instance of an identical
+// SP to be spawned on every PE."
+//
+// A spawn charges the Memory Manager (load SP, build PCB) and the Matching
+// Unit (register the new SP's entry) on the target PE; remote spawns
+// additionally pay one small message through the Routing Unit and network.
+func (p *pe) performSpawn(sp *spInst, in *isa.Instr, now int64, dist bool) {
+	m := p.m
+	tmpl := m.prog.Template(int(in.Imm.I))
+	if tmpl == nil {
+		m.fail(fmt.Errorf("sim: SP %q pc %d: spawn of unknown template %d", sp.tmpl.Name, sp.pc, in.Imm.I))
+		return
+	}
+	args := make([]isa.Value, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = sp.frame[a]
+	}
+	targets := []*pe{p}
+	if dist && !m.cfg.ZeroOverhead {
+		targets = m.pes
+	}
+	for _, q := range targets {
+		id := m.newSPID()
+		target := q
+		if m.cfg.ZeroOverhead {
+			m.instantiate(target, tmpl, id, args, now)
+			target.wakeEU(now)
+			continue
+		}
+		if target.id == p.id {
+			p.activate(now, target, tmpl, id, args)
+			continue
+		}
+		m.counts.SmallMsgs++
+		m.counts.SPsRemote++
+		m.serve(&p.ru, now, timing.SmallMessageRUTime, func(t int64) {
+			m.at(t+timing.NetworkTime, func(t2 int64) {
+				p.activate(t2, target, tmpl, id, args)
+			})
+		})
+	}
+}
+
+// activate runs the MM (frame/PCB creation) and MU (matching-table entry)
+// service chain on the target PE and makes the instance ready.
+func (p *pe) activate(t int64, target *pe, tmpl *isa.Template, id int64, args []isa.Value) {
+	m := p.m
+	m.serve(&target.mm, t, timing.ActivateSPTime, func(t2 int64) {
+		m.serve(&target.mu, t2, timing.MatchTime, func(t3 int64) {
+			m.counts.TokensMatched++
+			m.instantiate(target, tmpl, id, args, t3)
+			target.wakeEU(t3)
+		})
+	})
+}
+
+// performSend implements inter-SP tokens (loop results, function returns).
+// The token goes through the destination PE's Matching Unit ("only tokens
+// exchanged between different SPs go through the Matching Unit", §5.1).
+func (p *pe) performSend(sp *spInst, in *isa.Instr, now int64) {
+	m := p.m
+	ref := sp.frame[in.A]
+	if ref.Kind != isa.KindSP {
+		m.fail(fmt.Errorf("sim: SP %q pc %d: SEND target is %s, not an SP reference", sp.tmpl.Name, sp.pc, ref))
+		return
+	}
+	val := sp.frame[in.B]
+	base := int64(0)
+	if len(in.Args) > 0 {
+		base = sp.frame[in.Args[0]].AsInt()
+	}
+	slot := int(base + in.Imm.I)
+	id := ref.I
+
+	if id == 0 {
+		// Environment continuation: program result, no machine cost.
+		m.deliver(now, 0, slot, val)
+		return
+	}
+	if m.cfg.ZeroOverhead {
+		m.deliver(now, id, slot, val)
+		return
+	}
+	loc, ok := m.spLoc[id]
+	if !ok {
+		m.fail(fmt.Errorf("sim: SP %q pc %d: token for dead SP %d", sp.tmpl.Name, sp.pc, id))
+		return
+	}
+	target := m.pes[loc]
+	if target.id == p.id {
+		m.serve(&target.mu, now, timing.MatchTime, func(t int64) {
+			m.counts.TokensMatched++
+			m.deliver(t, id, slot, val)
+		})
+		return
+	}
+	m.counts.SmallMsgs++
+	m.serve(&p.ru, now, timing.SmallMessageRUTime, func(t int64) {
+		m.at(t+timing.NetworkTime, func(t2 int64) {
+			m.serve(&target.mu, t2, timing.MatchTime, func(t3 int64) {
+				m.counts.TokensMatched++
+				m.deliver(t3, id, slot, val)
+			})
+		})
+	})
+}

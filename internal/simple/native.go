@@ -1,0 +1,209 @@
+package simple
+
+// Native reference implementation of the SIMPLE step, mirroring the Idlite
+// source expression by expression. It serves two purposes: validating every
+// simulated run's array contents, and acting as the hand-written sequential
+// program of the §5.3.4 efficiency comparison.
+
+// Grid holds the state arrays of one SIMPLE step, row-major, 0-based
+// internally (element (i,j) of the 1-based Idlite program is At(g.X, i, j)).
+type Grid struct {
+	N                    int
+	R, Z, U, W           []float64
+	Rho, P, Q, E         []float64
+	Un, Wn, Rn, Zn       []float64
+	Rhon, Pn, Qn, En, Tn []float64
+	Cpa, Dpa, Th         []float64
+	Cpb, Dpb, T2         []float64
+}
+
+// At reads element (i, j) (1-based) of an n×n row-major array.
+func At(a []float64, n, i, j int) float64 { return a[(i-1)*n+(j-1)] }
+
+func alloc(n int) []float64 { return make([]float64, n*n) }
+
+// NewGrid allocates all state for an n×n mesh.
+func NewGrid(n int) *Grid {
+	g := &Grid{N: n}
+	for _, p := range []*[]float64{
+		&g.R, &g.Z, &g.U, &g.W, &g.Rho, &g.P, &g.Q, &g.E,
+		&g.Un, &g.Wn, &g.Rn, &g.Zn, &g.Rhon, &g.Pn, &g.Qn, &g.En, &g.Tn,
+		&g.Cpa, &g.Dpa, &g.Th, &g.Cpb, &g.Dpb, &g.T2,
+	} {
+		*p = alloc(n)
+	}
+	return g
+}
+
+func eosNative(rho, e float64) float64 { return 0.4 * rho * e }
+
+func kappaNative(t float64) float64 { return 0.01 + 0.004*t }
+
+// Init fills the initial state exactly like the Idlite main.
+func (g *Grid) Init() {
+	n := g.N
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			fi, fj := float64(i), float64(j)
+			o := (i-1)*n + (j - 1)
+			g.R[o] = fj * 0.1
+			g.Z[o] = fi * 0.1
+			g.U[o] = 0.01*fj - 0.005*fi
+			g.W[o] = 0.004*fi + 0.002*fj
+			rhov := 1.0 + 0.05*fi/float64(n)
+			ev := 2.0 + 0.01*fj
+			g.Rho[o] = rhov
+			g.E[o] = ev
+			g.P[o] = 0.4 * rhov * ev
+			g.Q[o] = 0
+		}
+	}
+}
+
+// VelocityPosition runs routine 1.
+func (g *Grid) VelocityPosition(dt float64) {
+	n := g.N
+	at := func(a []float64, i, j int) float64 { return a[(i-1)*n+(j-1)] }
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			pick := func(a []float64, ii, jj int) float64 {
+				if jj < 1 || jj > n || ii < 1 || ii > n {
+					return at(a, i, j)
+				}
+				return at(a, ii, jj)
+			}
+			pl, pr := pick(g.P, i, j-1), pick(g.P, i, j+1)
+			pd, pu := pick(g.P, i-1, j), pick(g.P, i+1, j)
+			ql, qr := pick(g.Q, i, j-1), pick(g.Q, i, j+1)
+			qd, qu := pick(g.Q, i-1, j), pick(g.Q, i+1, j)
+			ax := (pr - pl + qr - ql) * 0.5
+			ay := (pu - pd + qu - qd) * 0.5
+			o := (i-1)*n + (j - 1)
+			uv := g.U[o] - dt*ax/g.Rho[o]
+			wv := g.W[o] - dt*ay/g.Rho[o]
+			g.Un[o] = uv
+			g.Wn[o] = wv
+			g.Rn[o] = g.R[o] + dt*uv
+			g.Zn[o] = g.Z[o] + dt*wv
+		}
+	}
+}
+
+// Hydrodynamics runs routine 2.
+func (g *Grid) Hydrodynamics(dt float64) {
+	n := g.N
+	at := func(a []float64, i, j int) float64 { return a[(i-1)*n+(j-1)] }
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			pick := func(a []float64, ii, jj int) float64 {
+				if jj < 1 || jj > n || ii < 1 || ii > n {
+					return at(a, i, j)
+				}
+				return at(a, ii, jj)
+			}
+			ul, ur := pick(g.Un, i, j-1), pick(g.Un, i, j+1)
+			wd, wu := pick(g.Wn, i-1, j), pick(g.Wn, i+1, j)
+			div := (ur - ul + wu - wd) * 0.5
+			o := (i-1)*n + (j - 1)
+			rv := g.Rho[o] * (1.0 - dt*div)
+			qv := 0.0
+			if div < 0 {
+				qv = 2.0 * rv * div * div
+			}
+			ev := g.E[o] - dt*(g.P[o]+qv)*div/rv
+			g.Rhon[o] = rv
+			g.Qn[o] = qv
+			g.En[o] = ev
+			g.Pn[o] = eosNative(rv, ev)
+			g.Tn[o] = 0.5 * ev
+		}
+	}
+}
+
+// Conduction runs routine 3 on the temperature field t (g.Tn for the full
+// step), writing g.Th (after row sweeps) and g.T2 (final).
+func (g *Grid) Conduction(lam float64, t []float64) {
+	n := g.N
+	at := func(a []float64, i, j int) float64 { return a[(i-1)*n+(j-1)] }
+	set := func(a []float64, i, j int, v float64) { a[(i-1)*n+(j-1)] = v }
+
+	// Phase A: row sweeps.
+	for i := 2; i <= n-1; i++ {
+		cprev, dprev := 0.0, at(t, i, 1)
+		for j := 2; j <= n-1; j++ {
+			kap := kappaNative(at(t, i, j))
+			a := lam * kap
+			b := 1.0 + 2.0*a
+			d := at(t, i, j) + lam*kap*(at(t, i-1, j)-2.0*at(t, i, j)+at(t, i+1, j))
+			den := b - a*cprev
+			cpj := a / den
+			dpj := (d + a*dprev) / den
+			set(g.Cpa, i, j, cpj)
+			set(g.Dpa, i, j, dpj)
+			cprev, dprev = cpj, dpj
+		}
+		xprev := at(t, i, n)
+		for j := n - 1; j >= 2; j-- {
+			xj := at(g.Dpa, i, j) + at(g.Cpa, i, j)*xprev
+			set(g.Th, i, j, xj)
+			xprev = xj
+		}
+		set(g.Th, i, 1, at(t, i, 1))
+		set(g.Th, i, n, at(t, i, n))
+	}
+	for j := 1; j <= n; j++ {
+		set(g.Th, 1, j, at(t, 1, j))
+		set(g.Th, n, j, at(t, n, j))
+	}
+
+	// Phase B: column sweeps.
+	for j := 2; j <= n-1; j++ {
+		cprev, dprev := 0.0, at(g.Th, 1, j)
+		for i := 2; i <= n-1; i++ {
+			kap := 0.01 + 0.004*at(g.Th, i, j)
+			a := lam * kap
+			b := 1.0 + 2.0*a
+			d := at(g.Th, i, j) + lam*kap*(at(g.Th, i, j-1)-2.0*at(g.Th, i, j)+at(g.Th, i, j+1))
+			den := b - a*cprev
+			cpj := a / den
+			dpj := (d + a*dprev) / den
+			set(g.Cpb, i, j, cpj)
+			set(g.Dpb, i, j, dpj)
+			cprev, dprev = cpj, dpj
+		}
+		xp := at(g.Th, n, j)
+		for i := n - 1; i >= 2; i-- {
+			xj := at(g.Dpb, i, j) + at(g.Cpb, i, j)*xp
+			set(g.T2, i, j, xj)
+			xp = xj
+		}
+		set(g.T2, 1, j, at(g.Th, 1, j))
+		set(g.T2, n, j, at(g.Th, n, j))
+	}
+	for i := 1; i <= n; i++ {
+		set(g.T2, i, 1, at(g.Th, i, 1))
+		set(g.T2, i, n, at(g.Th, i, n))
+	}
+}
+
+// Step runs one full SIMPLE cycle, matching the Idlite main.
+func (g *Grid) Step() {
+	const dt, lam = 0.01, 0.5
+	g.Init()
+	g.VelocityPosition(dt)
+	g.Hydrodynamics(dt)
+	g.Conduction(lam, g.Tn)
+}
+
+// ConductionOnly mirrors ConductionSource's main: initialize the
+// temperature field directly and run conduction alone.
+func (g *Grid) ConductionOnly() {
+	n := g.N
+	t := alloc(n)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			t[(i-1)*n+(j-1)] = 1.0 + 0.5*float64(i)/float64(n) + 0.25*float64(j)/float64(n)
+		}
+	}
+	g.Conduction(0.5, t)
+}

@@ -1,0 +1,302 @@
+// Package simple is the Lawrence Livermore SIMPLE benchmark (Crowley et
+// al., UCID-17715) as reproduced for PODS: a 2-D Lagrangian hydrodynamics
+// and heat-conduction simulation on an n×n mesh, written in Idlite with the
+// paper's routine structure (§5.2):
+//
+//   - velocity_position — no LCDs, no function calls, embarrassingly
+//     parallel (distributed with a row Range Filter);
+//   - hydrodynamics — "basically one big nested loop" with an equation-of-
+//     state function call per zone;
+//   - conduction — the hard part: ADI-style sweep phases in which every
+//     element is recalculated twice from its neighbors, with loop-carried
+//     dependencies along both ascending and descending for-loops, plus
+//     per-zone conductivity function calls. The row phase distributes along
+//     data ownership; the column phase cannot follow ownership and falls
+//     back to a uniform index split, generating the remote traffic that
+//     makes conduction the scalability bottleneck — exactly the behaviour
+//     the paper reports.
+//
+// The package also contains a plain-Go reference implementation used to
+// validate every simulated run and to time the "most efficient sequential
+// version" of §5.3.4.
+package simple
+
+// Source is the SIMPLE benchmark in Idlite. main takes the mesh size n.
+const Source = `
+# SIMPLE — 2-D Lagrangian hydrodynamics + heat conduction (PODS reproduction).
+
+# Equation of state: ideal gas, gamma = 1.4.
+func eos(rho: float, e: float) -> float {
+	return 0.4 * rho * e;
+}
+
+# Heat-conductivity interpolation (linear fit).
+func kappa(t: float) -> float {
+	return 0.01 + 0.004 * t;
+}
+
+# Routine 1: velocity and position update. Fully parallel: no LCDs.
+func velocity_position(n: int, dt: float, rho: array2, p: array2, q: array2,
+                       u: array2, w: array2, r: array2, z: array2,
+                       un: array2, wn: array2, rn: array2, zn: array2) {
+	for i = 1 to n {
+		for j = 1 to n {
+			pl = if j == 1 then p[i, j] else p[i, j - 1];
+			pr = if j == n then p[i, j] else p[i, j + 1];
+			pd = if i == 1 then p[i, j] else p[i - 1, j];
+			pu = if i == n then p[i, j] else p[i + 1, j];
+			ql = if j == 1 then q[i, j] else q[i, j - 1];
+			qr = if j == n then q[i, j] else q[i, j + 1];
+			qd = if i == 1 then q[i, j] else q[i - 1, j];
+			qu = if i == n then q[i, j] else q[i + 1, j];
+			ax = (pr - pl + qr - ql) * 0.5;
+			ay = (pu - pd + qu - qd) * 0.5;
+			uv = u[i, j] - dt * ax / rho[i, j];
+			wv = w[i, j] - dt * ay / rho[i, j];
+			un[i, j] = uv;
+			wn[i, j] = wv;
+			rn[i, j] = r[i, j] + dt * uv;
+			zn[i, j] = z[i, j] + dt * wv;
+		}
+	}
+}
+
+# Routine 2: hydrodynamics — density, artificial viscosity, energy and
+# pressure (via the eos call) in one big nested loop. Writes the new
+# temperature consumed by conduction.
+func hydrodynamics(n: int, dt: float, rho: array2, p: array2, q: array2, e: array2,
+                   un: array2, wn: array2,
+                   rhon: array2, pn: array2, qn: array2, en: array2, tn: array2) {
+	for i = 1 to n {
+		for j = 1 to n {
+			ul = if j == 1 then un[i, j] else un[i, j - 1];
+			ur = if j == n then un[i, j] else un[i, j + 1];
+			wd = if i == 1 then wn[i, j] else wn[i - 1, j];
+			wu = if i == n then wn[i, j] else wn[i + 1, j];
+			div = (ur - ul + wu - wd) * 0.5;
+			rv = rho[i, j] * (1.0 - dt * div);
+			qv = if div < 0.0 then 2.0 * rv * div * div else 0.0;
+			ev = e[i, j] - dt * (p[i, j] + qv) * div / rv;
+			rhon[i, j] = rv;
+			qn[i, j] = qv;
+			en[i, j] = ev;
+			pn[i, j] = eos(rv, ev);
+			tn[i, j] = 0.5 * ev;
+		}
+	}
+}
+
+# Boundary copies for the conduction phases (void helper functions).
+func row_boundary(n: int, t: array2, th: array2) {
+	for j = 1 to n {
+		th[1, j] = t[1, j];
+		th[n, j] = t[n, j];
+	}
+}
+
+func col_boundary(n: int, th: array2, t2: array2) {
+	for i = 1 to n {
+		t2[i, 1] = th[i, 1];
+		t2[i, n] = th[i, n];
+	}
+}
+
+# Routine 3: heat conduction — ADI-style: a tridiagonal (Thomas) solve along
+# every row (phase A), then along every column (phase B). The sweeps carry
+# scalars (LCDs) in both directions; the enclosing loops are LCD-free and
+# distribute.
+func conduction(n: int, lam: float, t: array2,
+                cpa: array2, dpa: array2, th: array2,
+                cpb: array2, dpb: array2, t2: array2) {
+	# Phase A: row sweeps, parallel across rows (follows the row
+	# partitioning of the arrays — all writes land on the local PE).
+	for i = 2 to n - 1 {
+		cprev = 0.0;
+		dprev = t[i, 1];
+		for j = 2 to n - 1 {
+			kap = kappa(t[i, j]);
+			a = lam * kap;
+			b = 1.0 + 2.0 * a;
+			d = t[i, j] + lam * kap * (t[i - 1, j] - 2.0 * t[i, j] + t[i + 1, j]);
+			den = b - a * cprev;
+			cpj = a / den;
+			dpj = (d + a * dprev) / den;
+			cpa[i, j] = cpj;
+			dpa[i, j] = dpj;
+			next cprev = cpj;
+			next dprev = dpj;
+		}
+		xprev = t[i, n];
+		for j2 = n - 1 downto 2 {
+			xj = dpa[i, j2] + cpa[i, j2] * xprev;
+			th[i, j2] = xj;
+			next xprev = xj;
+		}
+		th[i, 1] = t[i, 1];
+		th[i, n] = t[i, n];
+	}
+	row_boundary(n, t, th);
+
+	# Phase B: column sweeps. The written dimension is swept inside, so the
+	# Range Filter cannot follow ownership — PODS falls back to a uniform
+	# split of the column range and pays remote reads/writes.
+	for j3 = 2 to n - 1 {
+		cprev2 = 0.0;
+		dprev2 = th[1, j3];
+		for i2 = 2 to n - 1 {
+			kap2 = 0.01 + 0.004 * th[i2, j3];
+			a2 = lam * kap2;
+			b2 = 1.0 + 2.0 * a2;
+			d2 = th[i2, j3] + lam * kap2 * (th[i2, j3 - 1] - 2.0 * th[i2, j3] + th[i2, j3 + 1]);
+			den2 = b2 - a2 * cprev2;
+			cpj2 = a2 / den2;
+			dpj2 = (d2 + a2 * dprev2) / den2;
+			cpb[i2, j3] = cpj2;
+			dpb[i2, j3] = dpj2;
+			next cprev2 = cpj2;
+			next dprev2 = dpj2;
+		}
+		xp2 = th[n, j3];
+		for i3 = n - 1 downto 2 {
+			xj2 = dpb[i3, j3] + cpb[i3, j3] * xp2;
+			t2[i3, j3] = xj2;
+			next xp2 = xj2;
+		}
+		t2[1, j3] = th[1, j3];
+		t2[n, j3] = th[n, j3];
+	}
+	col_boundary(n, th, t2);
+}
+
+func main(n: int) {
+	dt = 0.01;
+	lam = 0.5;
+
+	r = array(n, n);   z = array(n, n);
+	u = array(n, n);   w = array(n, n);
+	rho = array(n, n); p = array(n, n);
+	q = array(n, n);   e = array(n, n);
+
+	for i = 1 to n {
+		for j = 1 to n {
+			fi = float(i);
+			fj = float(j);
+			r[i, j] = fj * 0.1;
+			z[i, j] = fi * 0.1;
+			u[i, j] = 0.01 * fj - 0.005 * fi;
+			w[i, j] = 0.004 * fi + 0.002 * fj;
+			rhov = 1.0 + 0.05 * fi / float(n);
+			ev = 2.0 + 0.01 * fj;
+			rho[i, j] = rhov;
+			e[i, j] = ev;
+			p[i, j] = 0.4 * rhov * ev;
+			q[i, j] = 0.0;
+		}
+	}
+
+	un = array(n, n); wn = array(n, n);
+	rn = array(n, n); zn = array(n, n);
+	velocity_position(n, dt, rho, p, q, u, w, r, z, un, wn, rn, zn);
+
+	rhon = array(n, n); pn = array(n, n);
+	qn = array(n, n);   en = array(n, n);
+	tn = array(n, n);
+	hydrodynamics(n, dt, rho, p, q, e, un, wn, rhon, pn, qn, en, tn);
+
+	cpa = array(n, n); dpa = array(n, n); th = array(n, n);
+	cpb = array(n, n); dpb = array(n, n); t2 = array(n, n);
+	conduction(n, lam, tn, cpa, dpa, th, cpb, dpb, t2);
+}
+`
+
+// ConductionSource is the conduction routine driven standalone (used by the
+// §5.3.4 efficiency comparison, which times "a 32 x 32 input conduction").
+const ConductionSource = `
+func kappa(t: float) -> float {
+	return 0.01 + 0.004 * t;
+}
+
+func row_boundary(n: int, t: array2, th: array2) {
+	for j = 1 to n {
+		th[1, j] = t[1, j];
+		th[n, j] = t[n, j];
+	}
+}
+
+func col_boundary(n: int, th: array2, t2: array2) {
+	for i = 1 to n {
+		t2[i, 1] = th[i, 1];
+		t2[i, n] = th[i, n];
+	}
+}
+
+func conduction(n: int, lam: float, t: array2,
+                cpa: array2, dpa: array2, th: array2,
+                cpb: array2, dpb: array2, t2: array2) {
+	for i = 2 to n - 1 {
+		cprev = 0.0;
+		dprev = t[i, 1];
+		for j = 2 to n - 1 {
+			kap = kappa(t[i, j]);
+			a = lam * kap;
+			b = 1.0 + 2.0 * a;
+			d = t[i, j] + lam * kap * (t[i - 1, j] - 2.0 * t[i, j] + t[i + 1, j]);
+			den = b - a * cprev;
+			cpj = a / den;
+			dpj = (d + a * dprev) / den;
+			cpa[i, j] = cpj;
+			dpa[i, j] = dpj;
+			next cprev = cpj;
+			next dprev = dpj;
+		}
+		xprev = t[i, n];
+		for j2 = n - 1 downto 2 {
+			xj = dpa[i, j2] + cpa[i, j2] * xprev;
+			th[i, j2] = xj;
+			next xprev = xj;
+		}
+		th[i, 1] = t[i, 1];
+		th[i, n] = t[i, n];
+	}
+	row_boundary(n, t, th);
+	for j3 = 2 to n - 1 {
+		cprev2 = 0.0;
+		dprev2 = th[1, j3];
+		for i2 = 2 to n - 1 {
+			kap2 = 0.01 + 0.004 * th[i2, j3];
+			a2 = lam * kap2;
+			b2 = 1.0 + 2.0 * a2;
+			d2 = th[i2, j3] + lam * kap2 * (th[i2, j3 - 1] - 2.0 * th[i2, j3] + th[i2, j3 + 1]);
+			den2 = b2 - a2 * cprev2;
+			cpj2 = a2 / den2;
+			dpj2 = (d2 + a2 * dprev2) / den2;
+			cpb[i2, j3] = cpj2;
+			dpb[i2, j3] = dpj2;
+			next cprev2 = cpj2;
+			next dprev2 = dpj2;
+		}
+		xp2 = th[n, j3];
+		for i3 = n - 1 downto 2 {
+			xj2 = dpb[i3, j3] + cpb[i3, j3] * xp2;
+			t2[i3, j3] = xj2;
+			next xp2 = xj2;
+		}
+		t2[1, j3] = th[1, j3];
+		t2[n, j3] = th[n, j3];
+	}
+	col_boundary(n, th, t2);
+}
+
+func main(n: int) {
+	lam = 0.5;
+	t = array(n, n);
+	for i = 1 to n {
+		for j = 1 to n {
+			t[i, j] = 1.0 + 0.5 * float(i) / float(n) + 0.25 * float(j) / float(n);
+		}
+	}
+	cpa = array(n, n); dpa = array(n, n); th = array(n, n);
+	cpb = array(n, n); dpb = array(n, n); t2 = array(n, n);
+	conduction(n, lam, t, cpa, dpa, th, cpb, dpb, t2);
+}
+`

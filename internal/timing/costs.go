@@ -1,0 +1,200 @@
+// Package timing holds the cost model of the PODS simulator: the iPSC/2
+// instruction execution times, functional-unit service times, and Dunigan's
+// message-latency equations, all taken from §5.1 of the paper. Durations are
+// integer nanoseconds of virtual time so that every published constant
+// (e.g. 0.558 µs, 19.5 µs, 697 + 0.4·L µs) is exactly representable and the
+// simulation is bit-for-bit deterministic.
+package timing
+
+import (
+	"repro/internal/isa"
+)
+
+// Duration is virtual time in nanoseconds.
+type Duration = int64
+
+const ns = Duration(1)
+
+// Instruction execution times measured on the iPSC/2 (paper §5.1, table
+// "iPSC/2 Instruction Execution time"). Entries not in the paper's table are
+// derived and documented inline.
+const (
+	IntAddTime   = 300 * ns   // integer add: 0.300 µs
+	IntSubTime   = 300 * ns   // integer subtraction: 0.300 µs
+	BitwiseTime  = 558 * ns   // bitwise logical: 0.558 µs
+	FNegTime     = 555 * ns   // floating point negate: 0.555 µs
+	FCmpTime     = 5803 * ns  // floating point compare: 5.803 µs
+	FPowTime     = 96418 * ns // floating point power: 96.418 µs
+	FAbsTime     = 12626 * ns // floating point abs: 12.626 µs
+	FSqrtTime    = 18929 * ns // floating point square root: 18.929 µs
+	FMulTime     = 7217 * ns  // floating point multiply: 7.217 µs
+	FDivTime     = 10707 * ns // floating point division: 10.707 µs
+	FAddTime     = 6753 * ns  // floating point addition: 6.753 µs
+	FSubTime     = 6757 * ns  // floating point subtraction: 6.757 µs
+	IntCmpTime   = 300 * ns   // integer comparison (paper folds it into the 2.7 µs local-read budget at 0.3 µs)
+	IntMulTime   = 1200 * ns  // integer multiply: derived from the 2.7 µs local read = 1 imul + 1 iadd + 3 icmp + 1 read ⇒ 2.7−0.3−0.9−0.3 = 1.2 µs
+	IntDivTime   = 1500 * ns  // integer divide: estimate, slightly above imul (not used on hot paths)
+	MoveTime     = 300 * ns   // register/slot move ≈ one memory reference (0.3 µs)
+	ConstTime    = 300 * ns   // immediate materialization ≈ one memory reference
+	JumpTime     = 300 * ns   // PC update ≈ one memory reference
+	ConvTime     = 555 * ns   // int↔float conversion ≈ FP negate class
+	MinMaxTime   = 600 * ns   // compare + conditional move: 2 × 0.3 µs
+	SpawnEUTime  = 900 * ns   // EU-side work to package a spawn: 3 memory references
+	SendEUTime   = 600 * ns   // EU-side work to emit one token: 2 memory references
+	HaltEUTime   = 300 * ns   // EU-side terminate signal to the MM
+	OwnQueryTime = 900 * ns   // Range-Filter header lookup: 3 local reads (array header is local)
+)
+
+// Execution-unit context switch: 80386 CALL ptr16:32 worst case, 21 clock
+// cycles at 16 MHz = 1.312 µs (paper §5.1).
+const ContextSwitchTime = 1312 * ns
+
+// Local array access (paper §5.1): offset computation + 3 comparisons +
+// local read = 2.7 µs when the element is local; the same address
+// arithmetic precedes remote or deferred handling.
+const LocalArrayReadTime = 2700 * ns
+
+// Memory timings (paper §5.1 "where" block).
+const (
+	MemReadTime      = 300 * ns  // local read: 0.3 µs
+	MemWriteTime     = 400 * ns  // local write: 0.4 µs
+	UnitSignalTime   = 1000 * ns // signal between functional units on one PE: 1.0 µs
+	EnqueuedReadTime = 2900 * ns // push an early read: 3 reads + 5 writes = 2.9 µs
+)
+
+// Matching Unit: hash-table lookup on (SP ID, frame pointer): 15 µs.
+const MatchTime = 15000 * ns
+
+// Memory Manager: each linked-list add/delete is ≈3 memory references =
+// 0.9 µs. Activating an SP allocates a frame and enqueues the PCB (2 ops);
+// terminating one releases the frame (1 op).
+const (
+	MMListOpTime   = 900 * ns
+	ActivateSPTime = 2 * MMListOpTime
+	ReleaseSPTime  = 1 * MMListOpTime
+)
+
+// Routing Unit. Tokens are <100 B and batched in groups of 20, so the
+// simulation charges 19.5 µs of RU occupancy per batched small message
+// (paper §5.1); long messages (page transfers) follow Dunigan's measured
+// equation.
+//
+// Batching only applies to asynchronous traffic (result tokens, spawn
+// requests, remote writes): a synchronous read request or reply cannot wait
+// for a batch to fill, so it pays Dunigan's full short-message time as
+// in-flight latency on top of the RU setup.
+const (
+	SmallMessageRUTime = 19500 * ns
+	SmallMessageBytes  = 100
+)
+
+// SyncMessageFlight is the end-to-end latency of an unbatched short message
+// (Dunigan: 390 µs for ≤100 bytes).
+const SyncMessageFlight = 390000 * ns
+
+// DuniganTime returns the iPSC/2 message time for a message of n bytes
+// (Dunigan, ORNL/TM-10881): 390 µs up to 100 bytes, else 697 + 0.4·n µs.
+func DuniganTime(n int) Duration {
+	if n <= SmallMessageBytes {
+		return 390000 * ns
+	}
+	return 697000*ns + Duration(n)*400*ns
+}
+
+// Network: the iPSC/2 network is modeled as pure propagation, 1 µs per hop
+// with an average of 2.5 hops ⇒ 2.5 µs per message (paper §5.1).
+const NetworkTime = 2500 * ns
+
+// Array Manager task times (paper §5.1 "The Array Manager handles the
+// following tasks in the indicated times").
+const (
+	AMWriteTime      = MemWriteTime               // array write (plus per-queued-read signal)
+	AMPerQueuedRead  = UnitSignalTime             // per queued read released by a write
+	AMCachedReadTime = MemReadTime                // cache probe
+	AMCacheMissExtra = UnitSignalTime             // "+ message_time if not present"
+	AMRemoteReadTime = MemReadTime                // owner-side presence check
+	AMEnqueueTime    = EnqueuedReadTime           // queue an early read
+	AMAllocTime      = 100000*ns + UnitSignalTime // allocate array: 100 µs + message_time
+	AMDeliverTime    = UnitSignalTime             // hand a value to another unit
+)
+
+// PageReceiveTime and PageSendTime cost a page of n elements at the AM
+// (paper: page_size × memory read/write time; send adds a unit signal).
+func PageReceiveTime(elems int) Duration { return Duration(elems) * MemWriteTime }
+
+// PageSendTime is the owner-side cost of extracting a page of n elements.
+func PageSendTime(elems int) Duration {
+	return Duration(elems)*MemReadTime + UnitSignalTime
+}
+
+// ElemBytes is the wire size of one array element (float64).
+const ElemBytes = 8
+
+// DefaultPageElems is the page size in elements: "the best page size has
+// been determined to be 32 elements or approximately 2 kilobytes" (§4.1).
+const DefaultPageElems = 32
+
+// InstrTime returns the EU execution time for an instruction. For
+// comparisons the operand kinds decide between the integer and floating
+// point compare costs, so callers pass the already-fetched operands' kinds.
+func InstrTime(op isa.Opcode, floatCmp bool) Duration {
+	switch op {
+	case isa.NOP:
+		return JumpTime
+	case isa.CONST:
+		return ConstTime
+	case isa.MOVE, isa.SELF, isa.CLEAR:
+		return MoveTime
+	case isa.IADD:
+		return IntAddTime
+	case isa.ISUB, isa.INEG:
+		return IntSubTime
+	case isa.IMUL:
+		return IntMulTime
+	case isa.IDIV, isa.IMOD:
+		return IntDivTime
+	case isa.FADD:
+		return FAddTime
+	case isa.FSUB:
+		return FSubTime
+	case isa.FMUL:
+		return FMulTime
+	case isa.FDIV:
+		return FDivTime
+	case isa.FNEG:
+		return FNegTime
+	case isa.FABS:
+		return FAbsTime
+	case isa.FSQRT:
+		return FSqrtTime
+	case isa.FPOW:
+		return FPowTime
+	case isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE, isa.CMPEQ, isa.CMPNE:
+		if floatCmp {
+			return FCmpTime
+		}
+		return IntCmpTime
+	case isa.AND, isa.OR, isa.NOT:
+		return BitwiseTime
+	case isa.MAX, isa.MIN:
+		return MinMaxTime
+	case isa.ITOF, isa.FTOI:
+		return ConvTime
+	case isa.JUMP, isa.BRFALSE, isa.BRTRUE:
+		return JumpTime
+	case isa.AREAD, isa.AWRITE:
+		return LocalArrayReadTime
+	case isa.ALLOC, isa.ALLOCD:
+		return SpawnEUTime
+	case isa.ROWLO, isa.ROWHI, isa.COLLO, isa.COLHI, isa.UNIFLO, isa.UNIFHI:
+		return OwnQueryTime
+	case isa.SPAWN, isa.SPAWND:
+		return SpawnEUTime
+	case isa.SEND:
+		return SendEUTime
+	case isa.HALT:
+		return HaltEUTime
+	default:
+		return MoveTime
+	}
+}

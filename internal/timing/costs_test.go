@@ -1,0 +1,118 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestPaperInstructionTable pins every constant from the paper's §5.1
+// instruction table (nanoseconds).
+func TestPaperInstructionTable(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Duration
+		want Duration
+	}{
+		{"integer add", IntAddTime, 300},
+		{"integer sub", IntSubTime, 300},
+		{"bitwise", BitwiseTime, 558},
+		{"fneg", FNegTime, 555},
+		{"fcmp", FCmpTime, 5803},
+		{"fpow", FPowTime, 96418},
+		{"fabs", FAbsTime, 12626},
+		{"fsqrt", FSqrtTime, 18929},
+		{"fmul", FMulTime, 7217},
+		{"fdiv", FDivTime, 10707},
+		{"fadd", FAddTime, 6753},
+		{"fsub", FSubTime, 6757},
+		{"context switch", ContextSwitchTime, 1312},
+		{"local array read", LocalArrayReadTime, 2700},
+		{"mem read", MemReadTime, 300},
+		{"mem write", MemWriteTime, 400},
+		{"unit signal", UnitSignalTime, 1000},
+		{"enqueued read", EnqueuedReadTime, 2900},
+		{"match", MatchTime, 15000},
+		{"mm list op", MMListOpTime, 900},
+		{"small msg RU", SmallMessageRUTime, 19500},
+		{"network", NetworkTime, 2500},
+		{"sync flight", SyncMessageFlight, 390000},
+	}
+	for _, c := range cases {
+		if c.got != c.want*1000/1000 { // both already ns
+			t.Errorf("%s = %d ns, want %d ns", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestLocalReadDecomposition checks the paper's derivation: 2.7 µs =
+// 1 imul + 1 iadd + 3 icmp + 1 read.
+func TestLocalReadDecomposition(t *testing.T) {
+	sum := IntMulTime + IntAddTime + 3*IntCmpTime + MemReadTime
+	if sum != LocalArrayReadTime {
+		t.Errorf("decomposition sums to %d ns, want %d", sum, LocalArrayReadTime)
+	}
+}
+
+func TestDuniganEquation(t *testing.T) {
+	if got := DuniganTime(1); got != 390000 {
+		t.Errorf("Dunigan(1) = %d, want 390000", got)
+	}
+	if got := DuniganTime(100); got != 390000 {
+		t.Errorf("Dunigan(100) = %d, want 390000", got)
+	}
+	// 697 + 0.4·256 µs = 799.4 µs.
+	if got := DuniganTime(256); got != 799400 {
+		t.Errorf("Dunigan(256) = %d, want 799400", got)
+	}
+	// Monotone beyond the knee.
+	if DuniganTime(101) >= DuniganTime(1000) {
+		t.Error("Dunigan must grow with message size")
+	}
+}
+
+func TestPageCosts(t *testing.T) {
+	if got := PageSendTime(32); got != 32*300+1000 {
+		t.Errorf("PageSendTime(32) = %d", got)
+	}
+	if got := PageReceiveTime(32); got != 32*400 {
+		t.Errorf("PageReceiveTime(32) = %d", got)
+	}
+	if DefaultPageElems != 32 {
+		t.Errorf("page size %d, want the paper's 32", DefaultPageElems)
+	}
+	if DefaultPageElems*ElemBytes != 256 {
+		t.Errorf("page bytes = %d", DefaultPageElems*ElemBytes)
+	}
+}
+
+func TestInstrTimeCoversAllOpcodes(t *testing.T) {
+	for op := isa.Opcode(1); int(op) < isa.NumOpcodes; op++ {
+		if d := InstrTime(op, false); d < 0 {
+			t.Errorf("InstrTime(%s) = %d", op, d)
+		}
+		if d := InstrTime(op, true); d <= 0 {
+			t.Errorf("InstrTime(%s, float) = %d", op, d)
+		}
+	}
+	// Comparison dispatch.
+	if InstrTime(isa.CMPLT, true) != FCmpTime {
+		t.Error("float compare cost")
+	}
+	if InstrTime(isa.CMPLT, false) != IntCmpTime {
+		t.Error("int compare cost")
+	}
+	// FP ops cost more than integer ops (drives the EU balance).
+	if InstrTime(isa.FADD, false) <= InstrTime(isa.IADD, false) {
+		t.Error("FP add should cost more than integer add")
+	}
+}
+
+func TestAllocTime(t *testing.T) {
+	if AMAllocTime != 100000+1000 {
+		t.Errorf("AMAllocTime = %d, want 101 µs", AMAllocTime)
+	}
+	if ActivateSPTime != 1800 || ReleaseSPTime != 900 {
+		t.Errorf("SP activate/release = %d/%d", ActivateSPTime, ReleaseSPTime)
+	}
+}

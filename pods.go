@@ -1,0 +1,158 @@
+// Package pods is a reproduction of PODS — the Process-Oriented Dataflow
+// System of Bic, Roy & Nagel, "Exploiting Iteration-Level Parallelism in
+// Dataflow Programs" (UC Irvine TR 91-57 / ICDCS 1992).
+//
+// PODS executes single-assignment (Id Nouveau-style) programs on a
+// conventional distributed-memory multiprocessor by grouping dataflow
+// instructions into sequential light-weight Subcompact Processes (SPs) and
+// distributing loop iterations to follow the data: arrays are paged and
+// spread over the PEs, distributed loops are spawned on every PE with the
+// distributing L operator, and a Range Filter clamps each copy's index
+// range to its PE's area of responsibility.
+//
+// The package front door:
+//
+//	p, err := pods.Compile("prog.id", src)         // Idlite → partitioned SPs
+//	res, err := p.Simulate(pods.SimConfig{NumPEs: 32}, pods.Int(64))
+//	fmt.Println(res)                                // virtual time + unit stats
+//	vals, _, dims, err := res.Array("A")            // I-structure contents
+//
+// Simulate runs the instruction-level machine simulator parameterized with
+// the paper's measured iPSC/2 timings; Execute runs the same program for
+// real on goroutines. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package pods
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/podsrt"
+	"repro/internal/sim"
+)
+
+// Value is a dataflow token value (program argument or result).
+type Value = isa.Value
+
+// Int builds an integer argument.
+func Int(v int64) Value { return isa.Int(v) }
+
+// Float builds a floating-point argument.
+func Float(v float64) Value { return isa.Float(v) }
+
+// SimConfig parameterizes the machine simulator. See sim.Config for the
+// full documentation of every knob.
+type SimConfig = sim.Config
+
+// RunConfig parameterizes the goroutine runtime.
+type RunConfig = podsrt.Config
+
+// GraphBuilder constructs dataflow programs directly (the API the Idlite
+// frontend itself uses).
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns an empty dataflow-program builder.
+func NewGraphBuilder() *graph.Builder { return graph.NewBuilder() }
+
+// Program is a compiled and partitioned PODS program.
+type Program struct {
+	sys *core.System
+}
+
+// Compile compiles Idlite source through the full PODS pipeline
+// (frontend → dataflow graph → Translator → Partitioner).
+func Compile(filename, src string) (*Program, error) {
+	sys, err := core.CompileSource(filename, src, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{sys: sys}, nil
+}
+
+// CompileCentralized compiles without loop distribution (every SP runs on
+// the spawning PE) — useful for ablation studies.
+func CompileCentralized(filename, src string) (*Program, error) {
+	sys, err := core.CompileSource(filename, src, core.Options{DisableDistribution: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{sys: sys}, nil
+}
+
+// FromGraph compiles a builder-constructed dataflow program.
+func FromGraph(b *graph.Builder) (*Program, error) {
+	gp, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.CompileGraph(gp, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{sys: sys}, nil
+}
+
+// Listing disassembles the partitioned Subcompact Processes.
+func (p *Program) Listing() string { return p.sys.Listing() }
+
+// PartitionReport describes the partitioner's distribution decisions.
+func (p *Program) PartitionReport() string { return p.sys.Report.String() }
+
+// SimResult is a completed simulation plus access to the machine's final
+// I-structure memory.
+type SimResult struct {
+	*sim.Result
+	machine *sim.Machine
+}
+
+// Array gathers a named array written by the program: values, a
+// written-mask, and the array dimensions.
+func (r *SimResult) Array(name string) (vals []float64, mask []bool, dims []int, err error) {
+	return r.machine.ReadArray(name)
+}
+
+// Arrays lists the names of all arrays the program allocated.
+func (r *SimResult) Arrays() []string { return r.machine.ArrayNames() }
+
+// Simulate runs the program on the simulated PODS multiprocessor.
+func (p *Program) Simulate(cfg SimConfig, args ...Value) (*SimResult, error) {
+	res, m, err := p.sys.Simulate(cfg, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{Result: res, machine: m}, nil
+}
+
+// ExecResult is a completed native (goroutine) run.
+type ExecResult struct {
+	// Value is the program's returned value (nil for void main).
+	Value *Value
+	rt    *podsrt.Runtime
+}
+
+// Array gathers a named array written by the program.
+func (r *ExecResult) Array(name string) (vals []float64, mask []bool, dims []int, err error) {
+	return r.rt.ReadArray(name)
+}
+
+// Execute runs the program for real on goroutines (one per SP). The context
+// bounds the run; a deadlocked dataflow program is reported when it expires.
+func (p *Program) Execute(ctx context.Context, cfg RunConfig, args ...Value) (*ExecResult, error) {
+	v, rt, err := p.sys.Execute(ctx, cfg, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecResult{Value: v, rt: rt}, nil
+}
+
+// MustCompile is Compile that panics on error (for examples and tests).
+func MustCompile(filename, src string) *Program {
+	p, err := Compile(filename, src)
+	if err != nil {
+		panic(fmt.Sprintf("pods: %v", err))
+	}
+	return p
+}
