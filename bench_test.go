@@ -7,6 +7,7 @@ package pods_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -161,6 +162,30 @@ func BenchmarkAblationNoCache(b *testing.B) {
 		slowdown = float64(nocache.Time) / float64(full.Time)
 	}
 	b.ReportMetric(slowdown, "nocache-slowdown")
+}
+
+// BenchmarkBackends runs the three execution backends head-to-head on the
+// paper kernels (experiment BACK): the same partitioned program on the
+// discrete-event simulator, the shared-memory goroutine runtime, and the
+// message-passing cluster runtime. Compare sub-benchmark wall times to see
+// what share-nothing message passing costs (and buys) at this scale.
+func BenchmarkBackends(b *testing.B) {
+	const n, pes = 16, 4
+	for _, kernel := range []string{"matmul", "heat", "pipeline"} {
+		for _, backend := range bench.BackendNames {
+			b.Run(kernel+"/"+backend, func(b *testing.B) {
+				var wall time.Duration
+				for i := 0; i < b.N; i++ {
+					d, err := bench.RunBackend(kernel, n, pes, backend)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wall += d
+				}
+				b.ReportMetric(float64(wall.Microseconds())/1000/float64(b.N), "wall-ms")
+			})
+		}
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed (virtual

@@ -10,6 +10,8 @@
 //	X1  — generic matrix-multiply example
 //	ABL — ablations (distribution off, cache off, control-driven)
 //	PAGE — page-size sensitivity sweep ([BIC89] "not a critical parameter")
+//	BACK — the three execution backends (sim, podsrt, cluster) head-to-head
+//	       on the paper kernels (matmul, heat, pipeline)
 //
 // Usage:
 //
@@ -39,7 +41,7 @@ func main() {
 
 func run(argv []string) error {
 	fs := flag.NewFlagSet("podsbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK) or 'all'")
 	quick := fs.Bool("quick", false, "reduced axes (smaller sizes, fewer PE counts)")
 	csvDir := fs.String("csv", "", "also write figure data as CSV files into this directory")
 	if err := fs.Parse(argv); err != nil {
@@ -50,11 +52,13 @@ func run(argv []string) error {
 	sizes := bench.DefaultSizes
 	e1n := 32
 	ablN, ablPEs := 32, 16
+	backN, backPEs := 24, 8
 	if *quick {
 		pes = []int{1, 4, 16}
 		sizes = []int{8, 16}
 		e1n = 16
 		ablN, ablPEs = 16, 8
+		backN, backPEs = 12, 4
 	}
 
 	want := map[string]bool{}
@@ -138,6 +142,17 @@ func run(argv []string) error {
 			return err
 		}
 		fmt.Print(r.Format())
+	}
+	if section("BACK") {
+		fmt.Println(hr)
+		r, err := bench.Backends(backN, backPEs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		if err := emitCSV(*csvDir, "backends.csv", r.WriteCSV); err != nil {
+			return err
+		}
 	}
 	fmt.Println(hr)
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))

@@ -12,7 +12,7 @@ func TestQuickSweepAllExperiments(t *testing.T) {
 }
 
 func TestSingleExperimentSelection(t *testing.T) {
-	for _, exp := range []string{"T1", "T2", "E1"} {
+	for _, exp := range []string{"T1", "T2", "E1", "BACK"} {
 		if err := run([]string{"-quick", "-exp", exp}); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}

@@ -1,0 +1,164 @@
+// Command podsd runs PODS programs on the message-passing cluster runtime.
+// It is both halves of a distributed deployment:
+//
+// Worker mode serves one PE as its own OS process. The worker is program-
+// agnostic — the driver ships it the compiled program, the cluster geometry
+// and the peer list in its init message, so the same worker binary serves
+// any program:
+//
+//	podsd -worker -listen 127.0.0.1:7101
+//
+// Driver mode compiles an Idlite program (or loads a .pods file) and runs
+// it — over TCP workers when -workers is given, or on in-process channel-
+// transport workers otherwise:
+//
+//	podsd -pes 4 -args 16 prog.id                                # in-process
+//	podsd -workers 127.0.0.1:7101,127.0.0.1:7102 -args 16 prog.id  # TCP
+//	podsd -builtin matmul -pes 8 -args 12 -dump C
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "podsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("podsd", flag.ContinueOnError)
+	worker := fs.Bool("worker", false, "run as a TCP worker PE (serves one run, then exits)")
+	listen := fs.String("listen", "127.0.0.1:0", "worker listen address")
+	workers := fs.String("workers", "", "comma-separated worker addresses (driver mode; empty = in-process)")
+	pes := fs.Int("pes", 0, "number of in-process worker PEs (default 4)")
+	argsFlag := fs.String("args", "", "comma-separated integer arguments for main")
+	builtin := fs.String("builtin", "", "run a built-in kernel: matmul | heat | pipeline | mirror")
+	dump := fs.String("dump", "", "print the named array after the run")
+	pageElems := fs.Int("page", 0, "I-structure page size in elements (default 32)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "abort a (possibly deadlocked) run after this long")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	if *worker {
+		return serveWorker(*listen)
+	}
+
+	var name, src string
+	var precompiled *isa.Program
+	switch {
+	case *builtin != "":
+		k, ok := kernels.ByName(*builtin)
+		if !ok {
+			return fmt.Errorf("unknown builtin %q", *builtin)
+		}
+		name, src = k.File(), k.Source
+	case fs.NArg() == 1:
+		name = fs.Arg(0)
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(name, ".pods") {
+			precompiled, err = isa.UnmarshalPods(data)
+			if err != nil {
+				return err
+			}
+		} else {
+			src = string(data)
+		}
+	default:
+		return fmt.Errorf("usage: podsd [flags] prog.id|prog.pods (or -builtin NAME, or -worker)")
+	}
+
+	var args []isa.Value
+	if *argsFlag != "" {
+		for _, part := range strings.Split(*argsFlag, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad argument %q: %w", part, err)
+			}
+			args = append(args, isa.Int(v))
+		}
+	}
+
+	prog := precompiled
+	if prog == nil {
+		sys, err := core.CompileSource(name, src, core.Options{})
+		if err != nil {
+			return err
+		}
+		prog = sys.Program
+	}
+
+	cfg := cluster.Config{NumPEs: *pes, PageElems: *pageElems}
+	if *workers != "" {
+		cfg.Workers = strings.Split(*workers, ",")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := cluster.Execute(ctx, prog, cfg, args...)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	transport := "chan"
+	if len(cfg.Workers) > 0 {
+		transport = "tcp"
+	}
+	n := res.NumPEs
+	st := res.Stats
+	fmt.Printf("%s on %d PEs (%s): %.3f ms wall, %d msgs, %d deferred reads, %d/%d cache hits/misses\n",
+		name, n, transport, float64(wall.Microseconds())/1000, st.MsgsSent, st.DeferredReads, st.CacheHits, st.CacheMisses)
+	if res.Value != nil {
+		fmt.Printf("result: %s\n", res.Value)
+	}
+	fmt.Printf("arrays: %s\n", strings.Join(res.ArrayNames(), ", "))
+	if *dump != "" {
+		vals, mask, dims, err := res.ReadArray(*dump)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s %v:\n", *dump, dims)
+		cols := dims[len(dims)-1]
+		for i, v := range vals {
+			if i > 0 && i%cols == 0 {
+				fmt.Println()
+			}
+			if mask[i] {
+				fmt.Printf("%10.4f", v)
+			} else {
+				fmt.Printf("%10s", "·")
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// serveWorker listens and serves exactly one cluster run.
+func serveWorker(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("podsd worker listening on %s\n", ln.Addr())
+	return cluster.ServeWorker(context.Background(), ln)
+}

@@ -16,9 +16,9 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/kernels"
 	"repro/internal/sim"
 	"repro/internal/simple"
 )
@@ -34,7 +34,7 @@ func run(argv []string) error {
 	fs := flag.NewFlagSet("podsim", flag.ContinueOnError)
 	pes := fs.Int("pes", 4, "number of processing elements")
 	argsFlag := fs.String("args", "", "comma-separated integer arguments for main")
-	builtin := fs.String("builtin", "", "run a built-in program: simple | conduction | matmul")
+	builtin := fs.String("builtin", "", "run a built-in program: simple | conduction | matmul | heat | pipeline | mirror")
 	noDist := fs.Bool("no-dist", false, "disable loop distribution (ablation)")
 	stall := fs.Bool("stall", false, "control-driven baseline (no remote-latency hiding)")
 	noCache := fs.Bool("no-cache", false, "disable the software page cache (ablation)")
@@ -56,10 +56,12 @@ func run(argv []string) error {
 			src = simple.Source
 		case "conduction":
 			src = simple.ConductionSource
-		case "matmul":
-			src = bench.MatmulSource
 		default:
-			return fmt.Errorf("unknown builtin %q", *builtin)
+			k, ok := kernels.ByName(*builtin)
+			if !ok {
+				return fmt.Errorf("unknown builtin %q", *builtin)
+			}
+			name, src = k.File(), k.Source
 		}
 	case fs.NArg() == 1:
 		name = fs.Arg(0)

@@ -1,0 +1,144 @@
+// Determinacy (Church-Rosser) tests: a single-assignment dataflow program
+// must produce identical results no matter how its operations are
+// scheduled. We compile each example kernel once and assert that all three
+// backends — the discrete-event simulator, the shared-memory goroutine
+// runtime, and the message-passing cluster runtime — produce bit-for-bit
+// identical array contents at every PE count, including the mirror kernel,
+// whose consumers race ahead of producers and exercise remote deferred
+// reads.
+package pods_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	pods "repro"
+	"repro/internal/kernels"
+)
+
+// kernelSizes keeps the agreement matrix fast: big enough to spread arrays
+// over every PE count (n*n is at least 8 pages of 8 elements), small enough
+// to run the whole matrix in seconds.
+const (
+	determinacyN    = 10
+	determinacyPage = 8
+)
+
+var determinacyPEs = []int{1, 2, 4, 8}
+
+// arraySet is one backend's observable result: name → values + mask.
+type arraySet map[string]struct {
+	vals []float64
+	mask []bool
+	dims []int
+}
+
+func gather(t *testing.T, k kernels.Kernel, label string,
+	read func(name string) ([]float64, []bool, []int, error)) arraySet {
+	t.Helper()
+	out := make(arraySet)
+	for _, name := range k.Arrays {
+		vals, mask, dims, err := read(name)
+		if err != nil {
+			t.Fatalf("%s: %s: %v", label, name, err)
+		}
+		out[name] = struct {
+			vals []float64
+			mask []bool
+			dims []int
+		}{vals, mask, dims}
+	}
+	return out
+}
+
+func assertSame(t *testing.T, label string, got, want arraySet) {
+	t.Helper()
+	for name, w := range want {
+		g := got[name]
+		if len(g.vals) != len(w.vals) || fmt.Sprint(g.dims) != fmt.Sprint(w.dims) {
+			t.Fatalf("%s: %s: shape %v/%d elems, want %v/%d", label, name, g.dims, len(g.vals), w.dims, len(w.vals))
+		}
+		for i := range w.vals {
+			if g.mask[i] != w.mask[i] {
+				t.Fatalf("%s: %s[%d]: written=%v, want %v", label, name, i, g.mask[i], w.mask[i])
+			}
+			if g.vals[i] != w.vals[i] {
+				t.Fatalf("%s: %s[%d] = %v, want %v (backends disagree — determinacy violated)",
+					label, name, i, g.vals[i], w.vals[i])
+			}
+		}
+	}
+}
+
+func TestBackendAgreement(t *testing.T) {
+	for _, k := range kernels.All() {
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := pods.Compile(k.File(), k.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			args := k.Args(determinacyN)
+
+			// Reference: the simulator at 1 PE (fully deterministic).
+			ref, err := p.Simulate(pods.SimConfig{NumPEs: 1, PageElems: determinacyPage}, args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := gather(t, k, "sim@1", ref.Array)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for _, pes := range determinacyPEs {
+				sres, err := p.Simulate(pods.SimConfig{NumPEs: pes, PageElems: determinacyPage}, args...)
+				if err != nil {
+					t.Fatalf("sim@%d: %v", pes, err)
+				}
+				assertSame(t, fmt.Sprintf("sim@%d", pes), gather(t, k, "sim", sres.Array), want)
+
+				rres, err := p.Execute(ctx, pods.RunConfig{VirtualPEs: pes, PageElems: determinacyPage}, args...)
+				if err != nil {
+					t.Fatalf("podsrt@%d: %v", pes, err)
+				}
+				assertSame(t, fmt.Sprintf("podsrt@%d", pes), gather(t, k, "podsrt", rres.Array), want)
+
+				cres, err := p.ExecuteCluster(ctx, pods.ClusterConfig{NumPEs: pes, PageElems: determinacyPage}, args...)
+				if err != nil {
+					t.Fatalf("cluster@%d: %v", pes, err)
+				}
+				assertSame(t, fmt.Sprintf("cluster@%d", pes), gather(t, k, "cluster", cres.Array), want)
+			}
+		})
+	}
+}
+
+// TestClusterDeferredRemoteReadsObserved pins down that the mirror kernel
+// actually exercises the remote deferred-read machinery at 4 PEs (the
+// agreement above would be vacuous for the message paths otherwise).
+func TestClusterDeferredRemoteReadsObserved(t *testing.T) {
+	k, _ := kernels.ByName("mirror")
+	p, err := pods.Compile(k.File(), k.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := p.ExecuteCluster(ctx, pods.ClusterConfig{NumPEs: 4, PageElems: determinacyPage}, k.Args(16)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats()
+	t.Logf("mirror@4PE: msgs=%d deferred=%d cacheHits=%d cacheMisses=%d",
+		st.MsgsSent, st.DeferredReads, st.CacheHits, st.CacheMisses)
+	if st.MsgsSent == 0 {
+		t.Error("no inter-PE messages: the run was not distributed at all")
+	}
+	if st.CacheMisses == 0 {
+		t.Error("no page fetches: remote reads never left the PE")
+	}
+	if st.DeferredReads == 0 {
+		t.Error("no deferred reads: consumers never outran producers, so the remote deferred-read path is untested")
+	}
+}

@@ -13,7 +13,7 @@ import (
 )
 
 const src = `
-func main(n: int, steps: int) {
+func main(n: int) {
 	T0 = array(n, n);
 	for i = 1 to n {
 		for j = 1 to n {
@@ -55,7 +55,7 @@ func main() {
 
 	var base float64
 	for _, pes := range []int{1, 4, 16} {
-		res, err := p.Simulate(pods.SimConfig{NumPEs: pes}, pods.Int(n), pods.Int(3))
+		res, err := p.Simulate(pods.SimConfig{NumPEs: pes}, pods.Int(n))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +70,7 @@ func main() {
 	// The three chained steps synchronize purely through I-structure
 	// element availability — no barriers anywhere. Check conservation-ish
 	// sanity: the final field is finite and bounded by the initial extremes.
-	res, err := p.Simulate(pods.SimConfig{NumPEs: 8}, pods.Int(n), pods.Int(3))
+	res, err := p.Simulate(pods.SimConfig{NumPEs: 8}, pods.Int(n))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kernels"
+	"repro/internal/podsrt"
+	"repro/internal/sim"
+)
+
+// The BACK experiment benchmarks the three execution backends head-to-head
+// on the paper kernels: the discrete-event simulator (whose "time" is
+// virtual iPSC/2 nanoseconds but whose wall cost is the DES itself), the
+// shared-memory goroutine runtime, and the message-passing cluster runtime.
+// All three execute the identical partitioned program, so the comparison
+// isolates the runtime architecture: mutex-protected shared I-structures
+// vs. share-nothing workers paying real messages for every remote access.
+
+// Backend names accepted by RunBackend.
+const (
+	BackendSim     = "sim"
+	BackendPodsrt  = "podsrt"
+	BackendCluster = "cluster"
+)
+
+// BackendNames lists the backends in presentation order.
+var BackendNames = []string{BackendSim, BackendPodsrt, BackendCluster}
+
+// RunBackend compiles (cached) and executes one kernel once on one backend.
+// It returns the wall-clock duration of the execution only (compilation
+// excluded).
+func RunBackend(kernelName string, n, pes int, backend string) (time.Duration, error) {
+	k, ok := kernels.ByName(kernelName)
+	if !ok {
+		return 0, fmt.Errorf("bench: unknown kernel %q", kernelName)
+	}
+	prog, err := Compile(k.File(), k.Source, true)
+	if err != nil {
+		return 0, err
+	}
+	args := k.Args(n)
+	start := time.Now()
+	switch backend {
+	case BackendSim:
+		m, err := sim.New(prog, sim.Config{NumPEs: pes})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := m.Run(args...); err != nil {
+			return 0, err
+		}
+	case BackendPodsrt:
+		rt, err := podsrt.New(prog, podsrt.Config{VirtualPEs: pes})
+		if err != nil {
+			return 0, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if _, err := rt.Run(ctx, args...); err != nil {
+			return 0, err
+		}
+	case BackendCluster:
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if _, err := cluster.Execute(ctx, prog, cluster.Config{NumPEs: pes}, args...); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("bench: unknown backend %q", backend)
+	}
+	return time.Since(start), nil
+}
+
+// BackendsResult is the BACK experiment: wall-clock times for every
+// (kernel, backend) pair at a fixed problem size and PE count.
+type BackendsResult struct {
+	N       int
+	PEs     int
+	Kernels []string
+	// Wall[kernel][backend] is the measured wall-clock time.
+	Wall map[string]map[string]time.Duration
+	// SimVirtual[kernel] is the simulator's virtual iPSC/2 time.
+	SimVirtual map[string]time.Duration
+}
+
+// Backends runs the BACK experiment on the paper kernels.
+func Backends(n, pes int) (*BackendsResult, error) {
+	r := &BackendsResult{
+		N:          n,
+		PEs:        pes,
+		Kernels:    []string{"matmul", "heat", "pipeline"},
+		Wall:       make(map[string]map[string]time.Duration),
+		SimVirtual: make(map[string]time.Duration),
+	}
+	for _, kn := range r.Kernels {
+		r.Wall[kn] = make(map[string]time.Duration)
+		for _, backend := range BackendNames {
+			d, err := RunBackend(kn, n, pes, backend)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", kn, backend, err)
+			}
+			r.Wall[kn][backend] = d
+		}
+		// One more sim run for the virtual-time column (cheap at these
+		// sizes, and it keeps RunBackend's contract wall-only).
+		k, _ := kernels.ByName(kn)
+		prog, err := Compile(k.File(), k.Source, true)
+		if err != nil {
+			return nil, err
+		}
+		m, err := sim.New(prog, sim.Config{NumPEs: pes})
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Run(k.Args(n)...)
+		if err != nil {
+			return nil, err
+		}
+		r.SimVirtual[kn] = time.Duration(res.Time)
+	}
+	return r, nil
+}
+
+// Format renders the experiment.
+func (r *BackendsResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BACK — backend head-to-head, n=%d, %d PEs (wall-clock ms)\n\n", r.N, r.PEs)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %14s\n", "kernel", "sim", "podsrt", "cluster", "sim-virtual")
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+	}
+	for _, kn := range r.Kernels {
+		w := r.Wall[kn]
+		fmt.Fprintf(&b, "%-10s %12s %12s %12s %14s\n",
+			kn, ms(w[BackendSim]), ms(w[BackendPodsrt]), ms(w[BackendCluster]), ms(r.SimVirtual[kn]))
+	}
+	return b.String()
+}
+
+// WriteCSV emits kernel,backend,wall_ms rows (plus sim-virtual rows).
+func (r *BackendsResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, kn := range r.Kernels {
+		for _, backend := range BackendNames {
+			rows = append(rows, []string{kn, backend, fmtF(float64(r.Wall[kn][backend].Microseconds()) / 1000)})
+		}
+		rows = append(rows, []string{kn, "sim-virtual", fmtF(float64(r.SimVirtual[kn].Microseconds()) / 1000)})
+	}
+	return writeCSV(w, []string{"kernel", "backend", "wall_ms"}, rows)
+}

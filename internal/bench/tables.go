@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/isa"
+	"repro/internal/kernels"
 	"repro/internal/sim"
 	"repro/internal/simple"
 	"repro/internal/timing"
@@ -77,29 +78,9 @@ func TableT2() string {
 }
 
 // MatmulSource is the generic matrix-multiply example of §5.2 ("a few
-// generic examples, such as matrix multiply") used by experiment X1.
-const MatmulSource = `
-func main(n: int) {
-	A = array(n, n);
-	B = array(n, n);
-	for i = 1 to n {
-		for j = 1 to n {
-			A[i, j] = float(i + j);
-			B[i, j] = float(i - j) * 0.5;
-		}
-	}
-	C = array(n, n);
-	for i2 = 1 to n {
-		for j2 = 1 to n {
-			s = 0.0;
-			for k = 1 to n {
-				next s = s + A[i2, k] * B[k, j2];
-			}
-			C[i2, j2] = s;
-		}
-	}
-}
-`
+// generic examples, such as matrix multiply") used by experiment X1. The
+// canonical text lives in internal/kernels so all harnesses share it.
+const MatmulSource = kernels.Matmul
 
 // X1Result is the matrix-multiply speed-up experiment.
 type X1Result struct {

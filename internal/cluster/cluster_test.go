@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/idlang"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/translate"
+)
+
+func compile(t *testing.T, name, src string) *isa.Program {
+	t.Helper()
+	gp, err := idlang.Compile(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := translate.Translate(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partition.Partition(prog, partition.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestMsgCodecRoundTrip(t *testing.T) {
+	msgs := []*Msg{
+		{Kind: KToken, From: 3, SP: packID(2, 7), Slot: 5, Val: isa.Float(3.25)},
+		{Kind: KSpawn, Tmpl: 4, Args: []isa.Value{isa.Int(9), isa.SPRef(0), isa.Bool(true)}},
+		{Kind: KAlloc, Arr: packID(1, 1), Name: "A", Dims: []int32{8, 8}, Origin: 1, Dist: true},
+		{Kind: KReadReq, Arr: 77, Off: 12, ReqPE: 2, SP: packID(2, 3), Slot: 1},
+		{Kind: KPage, Arr: 77, Page: 2, Off: 65, SP: packID(0, 1), Slot: 2,
+			Vals: []isa.Value{isa.Float(1), {}, isa.Float(2)}, Set: []bool{true, false, true}},
+		{Kind: KWrite, Arr: 77, Off: 40, Val: isa.Int(-9)},
+		{Kind: KFail, Name: "pe 1: boom"},
+		{Kind: KProbe, Round: 12},
+		{Kind: KAck, Round: 12, Sent: 100, Recv: 99, Live: 3, Deferred: 7, Hits: 5, Misses: 2},
+		{Kind: KDumpReq, Arr: 77},
+		{Kind: KDump, Arr: 77, Off: 64, Vals: []isa.Value{isa.Float(1.5)}, Set: []bool{true}},
+		{Kind: KInit, PE: 1, NumPEs: 4, PageElems: 32, DistThreshold: 64,
+			Peers: []string{"a:1", "b:2"}, Prog: []byte("{}")},
+		{Kind: KStop},
+	}
+	for _, m := range msgs {
+		b := encodeMsg(nil, m)
+		got, err := decodeMsg(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s: round trip mismatch:\n sent %+v\n got  %+v", m.Kind, m, got)
+		}
+	}
+}
+
+func TestMsgCodecTruncated(t *testing.T) {
+	b := encodeMsg(nil, &Msg{Kind: KPage, Vals: make([]isa.Value, 4), Set: make([]bool, 4)})
+	for _, n := range []int{0, 1, 7, len(b) / 2, len(b) - 1} {
+		if _, err := decodeMsg(b[:n]); err == nil {
+			t.Errorf("decode of %d/%d bytes: want error", n, len(b))
+		}
+	}
+}
+
+func TestIDPacking(t *testing.T) {
+	for _, pe := range []int{0, 1, 31, 65535} {
+		id := packID(pe, 12345)
+		if got := peOf(id); got != pe {
+			t.Errorf("peOf(packID(%d, _)) = %d", pe, got)
+		}
+	}
+	if peOf(0) != -1 {
+		t.Errorf("peOf(0) = %d, want -1 (driver environment)", peOf(0))
+	}
+}
+
+// simArrays runs the simulator as the reference backend.
+func simArrays(t *testing.T, prog *isa.Program, pes int, names []string, args ...isa.Value) map[string][]float64 {
+	t.Helper()
+	m, err := sim.New(prog, sim.Config{NumPEs: pes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(args...); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]float64)
+	for _, name := range names {
+		vals, mask, _, err := m.ReadArray(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, okv := range mask {
+			if !okv {
+				t.Fatalf("sim: %s[%d] never written", name, i)
+			}
+			_ = i
+		}
+		out[name] = vals
+	}
+	return out
+}
+
+func checkAgainstSim(t *testing.T, res *Result, want map[string][]float64) {
+	t.Helper()
+	for name, ref := range want {
+		vals, mask, _, err := res.ReadArray(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != len(ref) {
+			t.Fatalf("%s: %d elements, want %d", name, len(vals), len(ref))
+		}
+		for i := range vals {
+			if !mask[i] {
+				t.Fatalf("%s[%d] never written in cluster run", name, i)
+			}
+			if vals[i] != ref[i] {
+				t.Fatalf("%s[%d] = %v, cluster disagrees with sim's %v", name, i, vals[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestExecuteMatmulAgreesWithSim(t *testing.T) {
+	k, _ := kernels.ByName("matmul")
+	prog := compile(t, k.File(), k.Source)
+	const n = 8
+	want := simArrays(t, prog, 4, k.Arrays, k.Args(n)...)
+	for _, pes := range []int{1, 2, 4, 8} {
+		res, err := Execute(testCtx(t), prog, Config{NumPEs: pes}, k.Args(n)...)
+		if err != nil {
+			t.Fatalf("%d PEs: %v", pes, err)
+		}
+		checkAgainstSim(t, res, want)
+	}
+}
+
+func TestExecuteMirrorDeferredRemoteReads(t *testing.T) {
+	k, _ := kernels.ByName("mirror")
+	prog := compile(t, k.File(), k.Source)
+	const n = 12
+	want := simArrays(t, prog, 4, k.Arrays, k.Args(n)...)
+	res, err := Execute(testCtx(t), prog, Config{NumPEs: 4}, k.Args(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSim(t, res, want)
+	t.Logf("mirror @4PE: deferred=%d hits=%d misses=%d msgs=%d",
+		res.Stats.DeferredReads, res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.MsgsSent)
+	if res.Stats.MsgsSent == 0 {
+		t.Error("4-PE mirror run sent no inter-PE messages — not message passing at all")
+	}
+}
+
+func TestExecuteReturnsValue(t *testing.T) {
+	prog := compile(t, "ret.id", `
+func main(a: int, b: int) -> int {
+	return a * b + 1;
+}`)
+	res, err := Execute(testCtx(t), prog, Config{NumPEs: 2}, isa.Int(6), isa.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value == nil || res.Value.I != 43 {
+		t.Fatalf("result = %+v, want 43", res.Value)
+	}
+}
+
+func TestExecuteLoopResult(t *testing.T) {
+	prog := compile(t, "sum.id", `
+func main(n: int) -> int {
+	s = 0;
+	for k = 1 to n {
+		next s = s + k;
+	}
+	return s;
+}`)
+	res, err := Execute(testCtx(t), prog, Config{NumPEs: 3}, isa.Int(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value == nil || res.Value.I != 55 {
+		t.Fatalf("result = %+v, want 55", res.Value)
+	}
+}
+
+func TestExecuteSingleAssignmentViolation(t *testing.T) {
+	prog := compile(t, "dup.id", `
+func main(n: int) {
+	A = array(n);
+	A[1] = 1.0;
+	A[1] = 2.0;
+}`)
+	_, err := Execute(testCtx(t), prog, Config{NumPEs: 2}, isa.Int(8))
+	if err == nil {
+		t.Fatal("want single-assignment violation error")
+	}
+}
+
+func TestExecuteDeadlockReported(t *testing.T) {
+	prog := compile(t, "dead.id", `
+func main(n: int) {
+	A = array(n);
+	B = array(n);
+	B[1] = A[1];
+}`)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := Execute(ctx, prog, Config{NumPEs: 2}, isa.Int(8))
+	if err == nil {
+		t.Fatal("want deadlock error for read of never-written element")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Execute(testCtx(t), compile(t, "t.id", `func main(n: int) { A = array(n); A[1] = 1.0; }`),
+		Config{NumPEs: 2, Workers: []string{"a:1", "b:2", "c:3"}}, isa.Int(4)); err == nil {
+		t.Fatal("want NumPEs/Workers conflict error")
+	}
+}

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rtcfg"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// NumPEs is the number of worker PEs (and the divisor for SPAWND and
+	// Range Filters). Defaults to rtcfg.DefaultPEs. Ignored when Workers
+	// is set — then the worker count is len(Workers).
+	NumPEs int
+
+	// PageElems sets the I-structure page size in elements; Range Filters
+	// follow the same geometry as the simulator. Defaults to 32.
+	PageElems int
+
+	// DistThreshold is the minimum element count for an ALLOCD array to be
+	// physically spread over the PEs. Defaults to 2 pages.
+	DistThreshold int
+
+	// Workers lists TCP worker addresses ("host:port", one per PE, each
+	// running `podsd -worker`). When empty the run uses the in-process
+	// channel transport with NumPEs worker goroutines.
+	Workers []string
+
+	// ProbeInterval is the pause between termination-detection probe
+	// rounds. Defaults to 100µs (the driver backs off geometrically up to
+	// 50× this while the program is still running).
+	ProbeInterval time.Duration
+}
+
+// fill applies the shared backend defaults and validates the result.
+func (c *Config) fill() error {
+	if len(c.Workers) > 0 {
+		if c.NumPEs != 0 && c.NumPEs != len(c.Workers) {
+			return fmt.Errorf("cluster: NumPEs %d conflicts with %d worker addresses", c.NumPEs, len(c.Workers))
+		}
+		c.NumPEs = len(c.Workers)
+	}
+	g := rtcfg.Geometry{PEs: c.NumPEs, PageElems: c.PageElems, DistThreshold: c.DistThreshold}
+	if err := g.Fill(rtcfg.DefaultPEs); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	c.NumPEs, c.PageElems, c.DistThreshold = g.PEs, g.PageElems, g.DistThreshold
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 100 * time.Microsecond
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+// Package cluster is a message-passing distributed-memory runtime for
+// translated PODS programs: N PE workers, each owning its own shard of
+// I-structure memory and its own run queue, communicate exclusively through
+// a typed message protocol — token delivery, SPAWND broadcast, remote
+// I-structure read with deferred-read queueing, page request/ship with
+// invalidation-free single-assignment caching, and distributed termination
+// detection — over a pluggable Transport. Two transports exist: an
+// in-process channel transport (one goroutine + mailbox per PE, zero shared
+// state) and a TCP transport (length-prefixed frames over net.Conn, so PEs
+// can run as separate OS processes; see cmd/podsd).
+//
+// Unlike internal/podsrt, which models a shared-memory multiprocessor with
+// a single mutex-protected I-structure store, this runtime is faithful to
+// the paper's iPSC/2 setting: no worker ever touches another worker's
+// memory, and every remote array access costs a real message round-trip.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// MsgKind discriminates protocol messages.
+type MsgKind uint8
+
+// Protocol message kinds. Data-plane kinds (spawn, token, alloc, readReq,
+// page, write) are counted by the termination detector; control-plane kinds
+// are not.
+const (
+	// KInit configures a TCP worker: its PE index, the cluster geometry,
+	// the peer address list, and the serialized program. Channel-transport
+	// workers are configured in-process and never see it.
+	KInit MsgKind = iota + 1
+
+	// KSpawn instantiates template Tmpl with Args on the receiving PE
+	// (the remote half of the L / distributing-LD operators).
+	KSpawn
+
+	// KToken delivers Val to slot Slot of SP instance SP. SP 0 is the
+	// driver environment: such tokens become the program result.
+	KToken
+
+	// KAlloc is the distributing-allocate broadcast (§4.1): every PE (and
+	// the driver) installs the array header described by Arr/Name/Dims/
+	// Origin/Dist.
+	KAlloc
+
+	// KReadReq asks the owning PE for element Off of array Arr on behalf
+	// of SP/Slot on PE ReqPE. If the element is present the owner ships
+	// the whole page (KPage); if absent it queues the request and later
+	// answers with a KToken when the write lands (§5.1 Array Manager).
+	KReadReq
+
+	// KPage ships a snapshot of page Page of array Arr (Vals/Set), plus
+	// the originally requested element Off for SP/Slot delivery. Single
+	// assignment makes the cache invalidation-free: present entries are
+	// final, absent entries may only be filled by a later refetch.
+	KPage
+
+	// KWrite stores Val at element Off of array Arr on the owning PE.
+	KWrite
+
+	// KFail reports a fatal worker error (Name holds the message).
+	KFail
+
+	// KProbe is a termination-detection probe for round Round.
+	KProbe
+
+	// KAck answers a probe: cumulative worker-to-worker Sent/Recv message
+	// counts, the Live SP count, and shard statistics.
+	KAck
+
+	// KDumpReq asks a worker for its owned segment of array Arr.
+	KDumpReq
+
+	// KDump returns a segment: values and presence bits starting at linear
+	// offset Off.
+	KDump
+
+	// KStop shuts a worker down.
+	KStop
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case KInit:
+		return "init"
+	case KSpawn:
+		return "spawn"
+	case KToken:
+		return "token"
+	case KAlloc:
+		return "alloc"
+	case KReadReq:
+		return "readReq"
+	case KPage:
+		return "page"
+	case KWrite:
+		return "write"
+	case KFail:
+		return "fail"
+	case KProbe:
+		return "probe"
+	case KAck:
+		return "ack"
+	case KDumpReq:
+		return "dumpReq"
+	case KDump:
+		return "dump"
+	case KStop:
+		return "stop"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(k))
+	}
+}
+
+// Msg is one protocol message. It is a flat union: each kind uses the
+// subset of fields its documentation names. A Msg (and every slice it
+// references) is owned by the receiver once sent and must not be mutated by
+// the sender afterwards — the channel transport passes pointers.
+type Msg struct {
+	Kind MsgKind
+	From int32 // sending endpoint: worker PE, or N (the driver)
+
+	// SP routing (spawn, token, readReq, page).
+	SP   int64
+	Slot int32
+	Val  isa.Value
+	Tmpl int32
+	Args []isa.Value
+
+	// Array operations (alloc, readReq, page, write, dump).
+	Arr    int64
+	Off    int32
+	Page   int32
+	Vals   []isa.Value
+	Set    []bool
+	Name   string // alloc array name; fail error text
+	Dims   []int32
+	Origin int32
+	Dist   bool
+	ReqPE  int32
+
+	// Termination detection (probe, ack).
+	Round      int32
+	Sent, Recv int64
+	Live       int32
+	Deferred   int64 // shard deferred-read count (ack)
+	Hits       int64 // page-cache hits (ack)
+	Misses     int64 // page-cache misses (ack)
+
+	// Worker configuration (init).
+	PE            int32
+	NumPEs        int32
+	PageElems     int32
+	DistThreshold int32
+	Peers         []string
+	Prog          []byte
+}
+
+// isData reports whether the kind is counted by termination detection.
+func (k MsgKind) isData() bool {
+	switch k {
+	case KSpawn, KToken, KAlloc, KReadReq, KPage, KWrite:
+		return true
+	}
+	return false
+}
+
+// The wire encoding is a flat, field-ordered binary layout: fixed-width
+// little-endian scalars, length-prefixed slices and strings. Every field is
+// always encoded — frames stay small because unused slices encode as a
+// 4-byte zero length, and the simplicity buys us an obviously symmetric
+// encoder/decoder pair.
+
+func appendU32(b []byte, v uint32) []byte  { return binary.LittleEndian.AppendUint32(b, v) }
+func appendI32(b []byte, v int32) []byte   { return appendU32(b, uint32(v)) }
+func appendI64(b []byte, v int64) []byte   { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte { return appendI64(b, int64(math.Float64bits(v))) }
+
+func appendValue(b []byte, v isa.Value) []byte {
+	b = append(b, byte(v.Kind))
+	b = appendI64(b, v.I)
+	return appendF64(b, v.F)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// encodeMsg appends the wire form of m to b.
+func encodeMsg(b []byte, m *Msg) []byte {
+	b = append(b, byte(m.Kind))
+	b = appendI32(b, m.From)
+	b = appendI64(b, m.SP)
+	b = appendI32(b, m.Slot)
+	b = appendValue(b, m.Val)
+	b = appendI32(b, m.Tmpl)
+	b = appendU32(b, uint32(len(m.Args)))
+	for _, v := range m.Args {
+		b = appendValue(b, v)
+	}
+	b = appendI64(b, m.Arr)
+	b = appendI32(b, m.Off)
+	b = appendI32(b, m.Page)
+	b = appendU32(b, uint32(len(m.Vals)))
+	for _, v := range m.Vals {
+		b = appendValue(b, v)
+	}
+	b = appendU32(b, uint32(len(m.Set)))
+	for _, s := range m.Set {
+		if s {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = appendString(b, m.Name)
+	b = appendU32(b, uint32(len(m.Dims)))
+	for _, d := range m.Dims {
+		b = appendI32(b, d)
+	}
+	b = appendI32(b, m.Origin)
+	if m.Dist {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendI32(b, m.ReqPE)
+	b = appendI32(b, m.Round)
+	b = appendI64(b, m.Sent)
+	b = appendI64(b, m.Recv)
+	b = appendI32(b, m.Live)
+	b = appendI64(b, m.Deferred)
+	b = appendI64(b, m.Hits)
+	b = appendI64(b, m.Misses)
+	b = appendI32(b, m.PE)
+	b = appendI32(b, m.NumPEs)
+	b = appendI32(b, m.PageElems)
+	b = appendI32(b, m.DistThreshold)
+	b = appendU32(b, uint32(len(m.Peers)))
+	for _, p := range m.Peers {
+		b = appendString(b, p)
+	}
+	b = appendU32(b, uint32(len(m.Prog)))
+	b = append(b, m.Prog...)
+	return b
+}
+
+// reader decodes the flat layout with sticky error handling.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = fmt.Errorf("cluster: truncated frame (want %d bytes, have %d)", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+
+func (r *reader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(uint64(r.i64())) }
+
+func (r *reader) value() isa.Value {
+	k := isa.Kind(r.u8())
+	i := r.i64()
+	f := r.f64()
+	return isa.Value{Kind: k, I: i, F: f}
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	b := r.take(int(n))
+	return string(b)
+}
+
+// sliceLen validates a slice-length prefix against the remaining bytes so a
+// corrupt frame cannot force a huge allocation.
+func (r *reader) sliceLen(elemSize int) int {
+	n := int(r.u32())
+	if r.err == nil && n*elemSize > len(r.b) {
+		r.err = fmt.Errorf("cluster: frame slice length %d exceeds payload", n)
+		return 0
+	}
+	return n
+}
+
+// decodeMsg parses one wire-format message.
+func decodeMsg(b []byte) (*Msg, error) {
+	r := &reader{b: b}
+	m := &Msg{}
+	m.Kind = MsgKind(r.u8())
+	m.From = r.i32()
+	m.SP = r.i64()
+	m.Slot = r.i32()
+	m.Val = r.value()
+	m.Tmpl = r.i32()
+	if n := r.sliceLen(17); n > 0 {
+		m.Args = make([]isa.Value, n)
+		for i := range m.Args {
+			m.Args[i] = r.value()
+		}
+	}
+	m.Arr = r.i64()
+	m.Off = r.i32()
+	m.Page = r.i32()
+	if n := r.sliceLen(17); n > 0 {
+		m.Vals = make([]isa.Value, n)
+		for i := range m.Vals {
+			m.Vals[i] = r.value()
+		}
+	}
+	if n := r.sliceLen(1); n > 0 {
+		m.Set = make([]bool, n)
+		for i := range m.Set {
+			m.Set[i] = r.u8() != 0
+		}
+	}
+	m.Name = r.str()
+	if n := r.sliceLen(4); n > 0 {
+		m.Dims = make([]int32, n)
+		for i := range m.Dims {
+			m.Dims[i] = r.i32()
+		}
+	}
+	m.Origin = r.i32()
+	m.Dist = r.u8() != 0
+	m.ReqPE = r.i32()
+	m.Round = r.i32()
+	m.Sent = r.i64()
+	m.Recv = r.i64()
+	m.Live = r.i32()
+	m.Deferred = r.i64()
+	m.Hits = r.i64()
+	m.Misses = r.i64()
+	m.PE = r.i32()
+	m.NumPEs = r.i32()
+	m.PageElems = r.i32()
+	m.DistThreshold = r.i32()
+	if n := r.sliceLen(4); n > 0 {
+		m.Peers = make([]string, n)
+		for i := range m.Peers {
+			m.Peers[i] = r.str()
+		}
+	}
+	if n := r.sliceLen(1); n > 0 {
+		m.Prog = append([]byte(nil), r.take(n)...)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// ID packing: SP instances and arrays are identified by globally unique
+// 64-bit IDs allocated without coordination — the owning PE index (+1, so
+// the driver's environment instance keeps ID 0) lives in the high bits and
+// a per-PE sequence number in the low bits.
+
+const peShift = 40
+
+func packID(pe int, seq int64) int64 { return int64(pe+1)<<peShift | seq }
+
+// peOf recovers the owning PE from a packed ID; ID 0 (the driver
+// environment) returns -1.
+func peOf(id int64) int { return int(id>>peShift) - 1 }

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/istructure"
+	"repro/internal/rtcfg"
+)
+
+// Stats aggregates cluster-wide dynamic counts gathered from the workers'
+// final probe answers.
+type Stats struct {
+	DeferredReads int64 // I-structure reads queued on absent elements
+	CacheHits     int64 // remote reads satisfied from the page cache
+	CacheMisses   int64 // remote reads that fetched a page
+	MsgsSent      int64 // worker-to-worker data messages
+}
+
+// gathered is one assembled array after a run.
+type gathered struct {
+	h    *istructure.Header
+	vals []float64
+	mask []bool
+}
+
+// Result is a completed cluster run: the program's returned value (if any),
+// aggregate statistics, and the gathered I-structure contents.
+type Result struct {
+	// Value is the entry block's returned value (nil for void main).
+	Value *isa.Value
+
+	// Stats holds cluster-wide dynamic counts.
+	Stats Stats
+
+	// NumPEs is the effective worker count after defaults were applied
+	// (cfg.NumPEs may be zero on entry).
+	NumPEs int
+
+	arrays  map[int64]*gathered
+	byName  map[string]int64
+	nameSeq []string
+}
+
+// ReadArray gathers a named array's contents: values, a written-mask, and
+// the array dimensions.
+func (r *Result) ReadArray(name string) (vals []float64, mask []bool, dims []int, err error) {
+	id, ok := r.byName[name]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("cluster: unknown array %q", name)
+	}
+	g := r.arrays[id]
+	return g.vals, g.mask, append([]int(nil), g.h.Dims...), nil
+}
+
+// ArrayNames lists allocated source-level array names in arrival order.
+func (r *Result) ArrayNames() []string { return append([]string(nil), r.nameSeq...) }
+
+// Execute runs a validated program on the cluster runtime. With
+// cfg.Workers empty it spins up cfg.NumPEs in-process workers over the
+// channel transport; otherwise it drives the listed TCP workers. The
+// context bounds the run; a blocked dataflow program (deadlock) is reported
+// when it expires.
+func Execute(ctx context.Context, prog *isa.Program, cfg Config, args ...isa.Value) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	entry := prog.Entry()
+	want := entry.NParams
+	if entry.HasResult {
+		want -= 2
+	}
+	if len(args) != want {
+		return nil, fmt.Errorf("cluster: entry %q wants %d args, got %d", entry.Name, want, len(args))
+	}
+	if entry.HasResult {
+		args = append(append([]isa.Value{}, args...), isa.SPRef(0), isa.Int(0))
+	}
+
+	if len(cfg.Workers) > 0 {
+		ep, cleanup, err := dialWorkers(ctx, cfg, prog)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		return drive(ctx, ep, cfg, entry, args)
+	}
+
+	// In-process channel transport: one goroutine per PE, zero shared
+	// program state — the workers communicate only through their
+	// endpoints.
+	eps := newChanTransport(cfg.NumPEs)
+	geo := rtcfg.Geometry{PEs: cfg.NumPEs, PageElems: cfg.PageElems, DistThreshold: cfg.DistThreshold}
+	var wg sync.WaitGroup
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for pe := 0; pe < cfg.NumPEs; pe++ {
+		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe])
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(wctx)
+		}()
+	}
+	res, err := drive(ctx, eps[cfg.NumPEs], cfg, entry, args)
+	cancel()
+	wg.Wait()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return res, err
+}
+
+// drive is the driver loop: spawn the entry SP on PE 0, then alternate
+// between handling worker messages and termination probes; on termination,
+// gather every array and stop the workers.
+func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, args []isa.Value) (*Result, error) {
+	n := cfg.NumPEs
+	res := &Result{
+		NumPEs: n,
+		arrays: make(map[int64]*gathered),
+		byName: make(map[string]int64),
+	}
+	det := newDetector(n)
+	stopAll := func() {
+		for pe := 0; pe < n; pe++ {
+			_ = ep.Send(pe, &Msg{Kind: KStop})
+		}
+	}
+
+	if err := ep.Send(0, &Msg{Kind: KSpawn, Tmpl: int32(entry.ID), Args: args}); err != nil {
+		return nil, err
+	}
+
+	// handle processes one driver-bound message; it returns an error for
+	// KFail and flags round completion for KAck.
+	round := int32(0)
+	roundComplete := false
+	handle := func(m *Msg) error {
+		switch m.Kind {
+		case KToken:
+			val := m.Val
+			res.Value = &val
+		case KAlloc:
+			dims := make([]int, len(m.Dims))
+			for i, d := range m.Dims {
+				dims[i] = int(d)
+			}
+			h, err := istructure.NewHeader(m.Arr, m.Name, dims, cfg.PageElems, n, int(m.Origin), m.Dist)
+			if err != nil {
+				return err
+			}
+			g := &gathered{h: h, vals: make([]float64, h.Elems()), mask: make([]bool, h.Elems())}
+			res.arrays[m.Arr] = g
+			if _, seen := res.byName[h.Name]; !seen {
+				res.nameSeq = append(res.nameSeq, h.Name)
+			}
+			res.byName[h.Name] = m.Arr
+		case KFail:
+			return fmt.Errorf("cluster: %s", m.Name)
+		case KAck:
+			if m.Round == round && det.record(int(m.From), m) {
+				roundComplete = true
+			}
+		case KDump:
+			g := res.arrays[m.Arr]
+			if g == nil {
+				return fmt.Errorf("cluster: dump for unknown array %d", m.Arr)
+			}
+			base := int(m.Off)
+			for i, v := range m.Vals {
+				if m.Set[i] {
+					g.vals[base+i] = v.AsFloat()
+					g.mask[base+i] = true
+				}
+			}
+		default:
+			return fmt.Errorf("cluster: driver got unexpected %s message", m.Kind)
+		}
+		return nil
+	}
+
+	// Probe rounds with geometric back-off: tight while the run is short,
+	// cheap while it is long.
+	interval := cfg.ProbeInterval
+	maxInterval := 50 * cfg.ProbeInterval
+	for {
+		round++
+		roundComplete = false
+		for pe := 0; pe < n; pe++ {
+			if err := ep.Send(pe, &Msg{Kind: KProbe, Round: round}); err != nil {
+				stopAll()
+				return nil, err
+			}
+		}
+		for !roundComplete {
+			m, err := ep.Recv(ctx)
+			if err != nil {
+				stopAll()
+				return nil, fmt.Errorf("cluster: run cancelled (deadlocked dataflow program? %d live SPs): %w", det.liveSPs(), err)
+			}
+			if herr := handle(m); herr != nil {
+				stopAll()
+				return nil, herr
+			}
+		}
+		if det.roundDone() {
+			break
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			stopAll()
+			return nil, fmt.Errorf("cluster: run cancelled (deadlocked dataflow program? %d live SPs): %w", det.liveSPs(), ctx.Err())
+		}
+		if interval < maxInterval {
+			interval *= 2
+		}
+	}
+	res.Stats = det.stats()
+
+	// Gather: ask each owning PE for its segment of every array.
+	expect := 0
+	for id, g := range res.arrays {
+		for pe := 0; pe < n; pe++ {
+			lo, hi := g.h.SegmentElems(pe)
+			if lo >= hi {
+				continue
+			}
+			if err := ep.Send(pe, &Msg{Kind: KDumpReq, Arr: id}); err != nil {
+				stopAll()
+				return nil, err
+			}
+			expect++
+		}
+	}
+	for expect > 0 {
+		m, err := ep.Recv(ctx)
+		if err != nil {
+			stopAll()
+			return nil, fmt.Errorf("cluster: gathering results: %w", err)
+		}
+		if m.Kind == KDump {
+			expect--
+		}
+		if herr := handle(m); herr != nil {
+			stopAll()
+			return nil, herr
+		}
+	}
+	stopAll()
+	return res, nil
+}

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/isa"
+	"repro/internal/rtcfg"
+)
+
+// The TCP transport runs each PE as its own endpoint over real sockets, so
+// workers can be separate OS processes (cmd/podsd). Framing is a 4-byte
+// big-endian length prefix followed by the protocol.go wire encoding.
+//
+// Topology: the driver dials every worker and configures it with KInit
+// (PE index, geometry, peer address list, serialized program). Workers dial
+// each other lazily on first send. Every connection is written only by the
+// endpoint that created it — except the driver connection, which is duplex
+// (driver → probes/spawns, worker → acks/results) — so each direction has
+// exactly one writer and no write locking is needed. Per-pair FIFO follows
+// from each (sender, receiver) pair using a single ordered stream.
+
+// maxFrame bounds a frame's payload (a page of values is ~KB; programs a
+// few hundred KB — 64 MiB is generous headroom against corrupt prefixes).
+const maxFrame = 1 << 26
+
+// writeFrame encodes m and writes one length-prefixed frame.
+func writeFrame(conn net.Conn, m *Msg) error {
+	payload := encodeMsg(make([]byte, 4), m)
+	if len(payload)-4 > maxFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(payload)-4)
+	}
+	binary.BigEndian.PutUint32(payload[:4], uint32(len(payload)-4))
+	_, err := conn.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame and decodes it.
+func readFrame(conn net.Conn) (*Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	return decodeMsg(buf)
+}
+
+// pump reads frames from conn into box until EOF or error. onInit, when
+// non-nil, observes KInit messages (the worker uses it to learn its driver
+// connection). Decode errors surface as synthetic KFail messages so the
+// endpoint's owner can abort cleanly.
+func pump(conn net.Conn, box *mailbox, onInit func(net.Conn)) {
+	for {
+		m, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				box.put(&Msg{Kind: KFail, Name: fmt.Sprintf("transport: %v", err)})
+			}
+			return
+		}
+		if m.Kind == KInit && onInit != nil {
+			onInit(conn)
+		}
+		box.put(m)
+	}
+}
+
+// tcpDriver is the driver's endpoint: one dialed connection per worker.
+type tcpDriver struct {
+	self  int
+	conns []net.Conn
+	box   *mailbox
+}
+
+func (d *tcpDriver) Send(to int, m *Msg) error {
+	if to < 0 || to >= len(d.conns) {
+		return fmt.Errorf("cluster: send to unknown worker %d", to)
+	}
+	m.From = int32(d.self)
+	return writeFrame(d.conns[to], m)
+}
+
+func (d *tcpDriver) Recv(ctx context.Context) (*Msg, error) { return d.box.recv(ctx) }
+
+func (d *tcpDriver) TryRecv() (*Msg, bool) {
+	m, ok, _ := d.box.pop()
+	return m, ok
+}
+
+func (d *tcpDriver) Close() error {
+	for _, c := range d.conns {
+		c.Close()
+	}
+	d.box.close()
+	return nil
+}
+
+// dialWorkers connects to cfg.Workers, ships each its KInit (geometry, peer
+// list, program), and returns the driver endpoint.
+func dialWorkers(ctx context.Context, cfg Config, prog *isa.Program) (Endpoint, func(), error) {
+	progBytes, err := isa.MarshalPods(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(cfg.Workers)
+	d := &tcpDriver{self: n, box: newMailbox()}
+	var dialer net.Dialer
+	for i, addr := range cfg.Workers {
+		conn, err := dialer.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			d.Close()
+			return nil, nil, fmt.Errorf("cluster: dialing worker %d at %s: %w", i, addr, err)
+		}
+		d.conns = append(d.conns, conn)
+		init := &Msg{
+			Kind:          KInit,
+			From:          int32(n),
+			PE:            int32(i),
+			NumPEs:        int32(n),
+			PageElems:     int32(cfg.PageElems),
+			DistThreshold: int32(cfg.DistThreshold),
+			Peers:         cfg.Workers,
+			Prog:          progBytes,
+		}
+		if err := writeFrame(conn, init); err != nil {
+			d.Close()
+			return nil, nil, fmt.Errorf("cluster: configuring worker %d: %w", i, err)
+		}
+		go func(i int, conn net.Conn) {
+			pump(conn, d.box, nil)
+			// A worker connection dropping mid-run would otherwise leave
+			// the driver polling probes until its context expires; surface
+			// it as a failure instead. After d.Close() the box is closed,
+			// so this put is a no-op during normal cleanup.
+			d.box.put(&Msg{Kind: KFail, Name: fmt.Sprintf("transport: worker %d connection closed", i)})
+		}(i, conn)
+	}
+	return d, func() { d.Close() }, nil
+}
+
+// tcpWorker is a worker's endpoint: the accepted driver connection plus
+// lazily dialed peer connections.
+type tcpWorker struct {
+	self  int
+	n     int
+	peers []string
+
+	mu     sync.Mutex
+	driver net.Conn
+	dialed []net.Conn
+
+	box *mailbox
+}
+
+func (t *tcpWorker) Send(to int, m *Msg) error {
+	m.From = int32(t.self)
+	if to == t.n {
+		t.mu.Lock()
+		conn := t.driver
+		t.mu.Unlock()
+		if conn == nil {
+			return errors.New("cluster: no driver connection")
+		}
+		return writeFrame(conn, m)
+	}
+	if to < 0 || to >= t.n {
+		return fmt.Errorf("cluster: send to unknown endpoint %d", to)
+	}
+	if t.dialed[to] == nil {
+		conn, err := net.Dial("tcp", t.peers[to])
+		if err != nil {
+			return fmt.Errorf("cluster: dialing peer %d at %s: %w", to, t.peers[to], err)
+		}
+		t.dialed[to] = conn
+	}
+	return writeFrame(t.dialed[to], m)
+}
+
+func (t *tcpWorker) Recv(ctx context.Context) (*Msg, error) { return t.box.recv(ctx) }
+
+func (t *tcpWorker) TryRecv() (*Msg, bool) {
+	m, ok, _ := t.box.pop()
+	return m, ok
+}
+
+func (t *tcpWorker) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.driver != nil {
+		t.driver.Close()
+	}
+	for _, c := range t.dialed {
+		if c != nil {
+			c.Close()
+		}
+	}
+	t.box.close()
+	return nil
+}
+
+// ServeWorker runs one TCP worker PE on ln until the driver stops it (or
+// ctx expires). It accepts connections from the driver and from peer
+// workers, waits for the driver's KInit, and then runs the worker loop.
+// Each call serves exactly one cluster run.
+func ServeWorker(ctx context.Context, ln net.Listener) error {
+	t := &tcpWorker{box: newMailbox()}
+	onInit := func(conn net.Conn) {
+		t.mu.Lock()
+		t.driver = conn
+		t.mu.Unlock()
+	}
+
+	var accepted []net.Conn
+	var amu sync.Mutex
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			amu.Lock()
+			accepted = append(accepted, conn)
+			amu.Unlock()
+			go func(conn net.Conn) {
+				pump(conn, t.box, onInit)
+				// If the driver's connection drops without a KStop (driver
+				// killed mid-run), close the mailbox so the worker loop
+				// drains what it has and exits instead of hanging forever.
+				t.mu.Lock()
+				isDriver := conn == t.driver
+				t.mu.Unlock()
+				if isDriver {
+					t.box.close()
+				}
+			}(conn)
+		}
+	}()
+	defer func() {
+		ln.Close()
+		amu.Lock()
+		for _, c := range accepted {
+			c.Close()
+		}
+		amu.Unlock()
+		t.Close()
+	}()
+
+	// Wait for the driver's configuration; messages from eager peers can
+	// arrive first and are replayed into the worker once it exists.
+	var stash []*Msg
+	var init *Msg
+	for init == nil {
+		m, err := t.box.recv(ctx)
+		if err != nil {
+			return err
+		}
+		if m.Kind == KInit {
+			init = m
+		} else {
+			stash = append(stash, m)
+		}
+	}
+	prog, err := isa.UnmarshalPods(init.Prog)
+	if err != nil {
+		return fmt.Errorf("cluster: worker init: %w", err)
+	}
+	t.self = int(init.PE)
+	t.n = int(init.NumPEs)
+	t.peers = init.Peers
+	t.dialed = make([]net.Conn, t.n)
+	geo := rtcfg.Geometry{
+		PEs:           t.n,
+		PageElems:     int(init.PageElems),
+		DistThreshold: int(init.DistThreshold),
+	}
+	w := newWorker(int(init.PE), t.n, geo, prog, t)
+	for _, m := range stash {
+		w.handle(m)
+	}
+	w.run(ctx)
+	return nil
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+// startTCPWorkers launches n in-process TCP workers on loopback ports and
+// returns their addresses plus a join function.
+func startTCPWorkers(t *testing.T, ctx context.Context, n int) ([]string, func()) {
+	t.Helper()
+	addrs := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ServeWorker(ctx, ln); err != nil && ctx.Err() == nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	return addrs, wg.Wait
+}
+
+// TestTCPMatmulAgreesWithSim is the acceptance check for the TCP transport:
+// workers on separate loopback ports, exchanging length-prefixed frames,
+// must produce bit-for-bit the simulator's arrays.
+func TestTCPMatmulAgreesWithSim(t *testing.T) {
+	k, _ := kernels.ByName("matmul")
+	prog := compile(t, k.File(), k.Source)
+	const n = 8
+	want := simArrays(t, prog, 4, k.Arrays, k.Args(n)...)
+
+	ctx := testCtx(t)
+	addrs, join := startTCPWorkers(t, ctx, 4)
+	res, err := Execute(ctx, prog, Config{Workers: addrs}, k.Args(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join()
+	checkAgainstSim(t, res, want)
+	if res.Stats.MsgsSent == 0 {
+		t.Error("TCP run sent no inter-PE messages")
+	}
+}
+
+// TestTCPReturnsValue checks the result-token path over TCP.
+func TestTCPReturnsValue(t *testing.T) {
+	prog := compile(t, "ret.id", `
+func main(a: int, b: int) -> int {
+	return a * b + 1;
+}`)
+	ctx := testCtx(t)
+	addrs, join := startTCPWorkers(t, ctx, 2)
+	res, err := Execute(ctx, prog, Config{Workers: addrs}, isa.Int(6), isa.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	join()
+	if res.Value == nil || res.Value.I != 43 {
+		t.Fatalf("result = %+v, want 43", res.Value)
+	}
+}

@@ -1,0 +1,95 @@
+package cluster
+
+// Distributed termination detection, four-counter style (Mattern 1987): the
+// driver repeatedly probes all workers; each worker answers with its
+// cumulative worker-to-worker message counts (sent, received) and its live
+// SP count. The computation has terminated when two consecutive complete
+// rounds observe zero live SPs everywhere and all four message sums are
+// equal — then no worker was active between the waves and no data message
+// was in flight, so nothing can ever change again.
+//
+// Per-sender FIFO makes the check double as a result barrier: a worker's
+// round-r ack follows every result token and alloc broadcast it previously
+// sent the driver, so by the time round r is evaluated the driver has
+// already processed them.
+
+// ackState is one worker's most recent probe answer.
+type ackState struct {
+	round      int32
+	sent, recv int64
+	live       int32
+	deferred   int64
+	hits       int64
+	misses     int64
+}
+
+// detector accumulates probe rounds and decides termination.
+type detector struct {
+	acks []ackState // per worker, latest ack
+
+	// got counts acks received for the current round.
+	got int
+
+	// prev holds the previous complete round's sums; prevOK marks it as a
+	// candidate (all live == 0, sent == recv).
+	prevSent, prevRecv int64
+	prevOK             bool
+}
+
+func newDetector(n int) *detector {
+	return &detector{acks: make([]ackState, n)}
+}
+
+// record stores one ack for the given round; acks from stale rounds are
+// ignored. It returns true when the round is complete.
+func (d *detector) record(pe int, m *Msg) bool {
+	if pe < 0 || pe >= len(d.acks) {
+		return false
+	}
+	d.acks[pe] = ackState{
+		round: m.Round, sent: m.Sent, recv: m.Recv, live: m.Live,
+		deferred: m.Deferred, hits: m.Hits, misses: m.Misses,
+	}
+	d.got++
+	return d.got == len(d.acks)
+}
+
+// roundDone evaluates a completed round and resets for the next one. It
+// returns true when termination is detected.
+func (d *detector) roundDone() bool {
+	d.got = 0
+	var sent, recv int64
+	allIdle := true
+	for _, a := range d.acks {
+		sent += a.sent
+		recv += a.recv
+		if a.live > 0 {
+			allIdle = false
+		}
+	}
+	ok := allIdle && sent == recv
+	terminated := ok && d.prevOK && sent == d.prevSent && recv == d.prevRecv
+	d.prevSent, d.prevRecv, d.prevOK = sent, recv, ok
+	return terminated
+}
+
+// liveSPs sums the live SP counts of the latest acks (deadlock diagnostics).
+func (d *detector) liveSPs() int {
+	n := 0
+	for _, a := range d.acks {
+		n += int(a.live)
+	}
+	return n
+}
+
+// stats aggregates the shard statistics of the latest acks.
+func (d *detector) stats() Stats {
+	var s Stats
+	for _, a := range d.acks {
+		s.DeferredReads += a.deferred
+		s.CacheHits += a.hits
+		s.CacheMisses += a.misses
+		s.MsgsSent += a.sent
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by Endpoint.Recv after Close.
+var ErrClosed = errors.New("cluster: endpoint closed")
+
+// Endpoint is one party on a cluster transport: worker PEs 0..N-1 plus the
+// driver at ID N. Sends are asynchronous, reliable, and FIFO per
+// (sender, receiver) pair — the ordering contract the protocol relies on
+// (e.g. an alloc broadcast reaches a PE before any spawn the allocator
+// sends it afterwards). Recv returns messages in arrival order.
+//
+// A sent Msg is owned by the receiver: the sender must not retain or
+// mutate it (or any slice it references) after Send returns.
+type Endpoint interface {
+	// Send enqueues m for endpoint `to` and returns without waiting for
+	// delivery.
+	Send(to int, m *Msg) error
+
+	// Recv blocks until a message arrives, the context is done, or the
+	// endpoint is closed.
+	Recv(ctx context.Context) (*Msg, error)
+
+	// TryRecv returns the next message if one is already queued.
+	TryRecv() (*Msg, bool)
+
+	// Close releases the endpoint. Pending and subsequent Recvs fail with
+	// ErrClosed once the queue drains.
+	Close() error
+}
+
+// mailbox is an unbounded FIFO message queue. Unboundedness is load-bearing:
+// worker loops both send and receive, so any bounded queue could deadlock on
+// cyclic token traffic (A blocked sending to B while B is blocked sending to
+// A). Real message-passing machines solve this with flow control; we solve
+// it with memory.
+type mailbox struct {
+	mu     sync.Mutex
+	q      []*Msg
+	head   int
+	notify chan struct{} // capacity 1: a "queue became non-empty" latch
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{notify: make(chan struct{}, 1)}
+}
+
+func (b *mailbox) put(m *Msg) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.q = append(b.q, m)
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop returns (msg, ok, closed).
+func (b *mailbox) pop() (*Msg, bool, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.head < len(b.q) {
+		m := b.q[b.head]
+		b.q[b.head] = nil
+		b.head++
+		if b.head == len(b.q) {
+			b.q = b.q[:0]
+			b.head = 0
+		}
+		return m, true, b.closed
+	}
+	return nil, false, b.closed
+}
+
+func (b *mailbox) recv(ctx context.Context) (*Msg, error) {
+	for {
+		if m, ok, closed := b.pop(); ok {
+			return m, nil
+		} else if closed {
+			return nil, ErrClosed
+		}
+		select {
+		case <-b.notify:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// chanTransport is the in-process transport: one mailbox per endpoint,
+// message pointers handed over directly. There is no shared program state —
+// the only thing workers share is the wire.
+type chanTransport struct {
+	boxes []*mailbox
+}
+
+// chanEndpoint is one endpoint of a chanTransport.
+type chanEndpoint struct {
+	net  *chanTransport
+	self int
+}
+
+// newChanTransport builds endpoints for n workers plus the driver (index n).
+func newChanTransport(n int) []Endpoint {
+	t := &chanTransport{boxes: make([]*mailbox, n+1)}
+	eps := make([]Endpoint, n+1)
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+		eps[i] = &chanEndpoint{net: t, self: i}
+	}
+	return eps
+}
+
+func (e *chanEndpoint) Send(to int, m *Msg) error {
+	if to < 0 || to >= len(e.net.boxes) {
+		return fmt.Errorf("cluster: send to unknown endpoint %d", to)
+	}
+	m.From = int32(e.self)
+	e.net.boxes[to].put(m)
+	return nil
+}
+
+func (e *chanEndpoint) Recv(ctx context.Context) (*Msg, error) {
+	return e.net.boxes[e.self].recv(ctx)
+}
+
+func (e *chanEndpoint) TryRecv() (*Msg, bool) {
+	m, ok, _ := e.net.boxes[e.self].pop()
+	return m, ok
+}
+
+func (e *chanEndpoint) Close() error {
+	e.net.boxes[e.self].close()
+	return nil
+}

@@ -1,0 +1,459 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/istructure"
+	"repro/internal/rtcfg"
+)
+
+// spInst is one live SP instance on a worker: template, operand frame with
+// presence bits, program counter, and the slot it is blocked on (isa.None
+// while runnable). An instance belongs to exactly one worker for life —
+// there is no migration, matching the paper's model where an SP executes on
+// the PE it was spawned on.
+type spInst struct {
+	id      int64
+	tmpl    *isa.Template
+	frame   []isa.Value
+	present []bool
+	pc      int
+	blocked int
+}
+
+// worker is one PE: its own I-structure shard, its own SP instances and run
+// queue, and an endpoint. Everything here is confined to the worker's
+// goroutine (or process); the only communication is Endpoint.Send/Recv.
+type worker struct {
+	pe   int
+	n    int
+	geo  rtcfg.Geometry
+	prog *isa.Program
+	ep   Endpoint
+
+	shard *istructure.Shard
+	insts map[int64]*spInst
+
+	// ready is a head-indexed FIFO run queue (same amortized-O(1) pop as
+	// mailbox; a plain front shift would make scheduling quadratic in the
+	// queue length).
+	ready     []*spInst
+	readyHead int
+
+	// waitArray holds SPs suspended mid-instruction on an array whose
+	// header has not arrived yet (an alloc broadcast from another PE can
+	// lose the race against a handle forwarded through a third PE).
+	waitArray map[int64][]*spInst
+	// pending holds remote messages (reads, writes) for such arrays.
+	pending map[int64][]*Msg
+
+	nextSP  int64
+	nextArr int64
+
+	// sent/recv count worker-to-worker data messages for termination
+	// detection (driver traffic is control-plane and excluded).
+	sent, recv int64
+
+	failed  bool
+	stopped bool
+}
+
+func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint) *worker {
+	return &worker{
+		pe:        pe,
+		n:         n,
+		geo:       geo,
+		prog:      prog,
+		ep:        ep,
+		shard:     istructure.NewShard(pe),
+		insts:     make(map[int64]*spInst),
+		waitArray: make(map[int64][]*spInst),
+		pending:   make(map[int64][]*Msg),
+	}
+}
+
+// driverID is the endpoint index of the driver for this worker's cluster.
+func (w *worker) driverID() int { return w.n }
+
+// send transmits m to endpoint `to`, counting worker-to-worker data traffic.
+func (w *worker) send(to int, m *Msg) {
+	if to != w.driverID() && m.Kind.isData() {
+		w.sent++
+	}
+	if err := w.ep.Send(to, m); err != nil {
+		w.fail(err)
+	}
+}
+
+// fail reports the first fatal error to the driver and stops executing SPs.
+// The worker keeps serving control messages until the driver says stop.
+func (w *worker) fail(err error) {
+	if w.failed {
+		return
+	}
+	w.failed = true
+	_ = w.ep.Send(w.driverID(), &Msg{Kind: KFail, Name: fmt.Sprintf("pe %d: %v", w.pe, err)})
+}
+
+// run is the worker main loop: drain the mailbox, then execute ready SPs;
+// block on the endpoint when there is nothing to do.
+func (w *worker) run(ctx context.Context) {
+	for !w.stopped {
+		for {
+			m, ok := w.ep.TryRecv()
+			if !ok {
+				break
+			}
+			w.handle(m)
+			if w.stopped {
+				return
+			}
+		}
+		if w.failed || w.readyHead == len(w.ready) {
+			m, err := w.ep.Recv(ctx)
+			if err != nil {
+				return
+			}
+			w.handle(m)
+			continue
+		}
+		w.step()
+	}
+}
+
+// handle dispatches one incoming message.
+func (w *worker) handle(m *Msg) {
+	if m.Kind.isData() && int(m.From) != w.driverID() {
+		w.recv++
+	}
+	switch m.Kind {
+	case KSpawn:
+		tmpl := w.prog.Template(int(m.Tmpl))
+		if tmpl == nil {
+			w.fail(fmt.Errorf("spawn of unknown template %d", m.Tmpl))
+			return
+		}
+		w.instantiate(tmpl, m.Args)
+
+	case KToken:
+		w.deliver(m.SP, int(m.Slot), m.Val)
+
+	case KAlloc:
+		dims := make([]int, len(m.Dims))
+		for i, d := range m.Dims {
+			dims[i] = int(d)
+		}
+		h, err := istructure.NewHeader(m.Arr, m.Name, dims, w.geo.PageElems, w.n, int(m.Origin), m.Dist)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		w.installArray(h)
+
+	case KReadReq:
+		w.handleReadReq(m)
+
+	case KPage:
+		w.handlePage(m)
+
+	case KWrite:
+		w.handleWrite(m)
+
+	case KProbe:
+		w.send(w.driverID(), &Msg{
+			Kind:     KAck,
+			Round:    m.Round,
+			Sent:     w.sent,
+			Recv:     w.recv,
+			Live:     int32(len(w.insts)),
+			Deferred: w.shard.DeferredReads,
+			Hits:     w.shard.CacheHits,
+			Misses:   w.shard.CacheMisses,
+		})
+
+	case KDumpReq:
+		w.handleDumpReq(m)
+
+	case KFail:
+		// A peer's transport pump reported a decode/socket error.
+		w.fail(errors.New(m.Name))
+
+	case KStop:
+		w.stopped = true
+
+	default:
+		w.fail(fmt.Errorf("unexpected %s message", m.Kind))
+	}
+}
+
+// instantiate creates a live SP instance on this worker.
+func (w *worker) instantiate(tmpl *isa.Template, args []isa.Value) {
+	if len(args) != tmpl.NParams {
+		w.fail(fmt.Errorf("%q spawned with %d args, want %d", tmpl.Name, len(args), tmpl.NParams))
+		return
+	}
+	w.nextSP++
+	sp := &spInst{
+		id:      packID(w.pe, w.nextSP),
+		tmpl:    tmpl,
+		frame:   make([]isa.Value, tmpl.NSlots),
+		present: make([]bool, tmpl.NSlots),
+		blocked: isa.None,
+	}
+	copy(sp.frame, args)
+	for i := range args {
+		sp.present[i] = true
+	}
+	w.insts[sp.id] = sp
+	w.ready = append(w.ready, sp)
+}
+
+// deliver places a token into a local SP's frame, waking it if it was
+// blocked on that slot.
+func (w *worker) deliver(id int64, slot int, v isa.Value) {
+	sp := w.insts[id]
+	if sp == nil {
+		w.fail(fmt.Errorf("token for dead SP %d", id))
+		return
+	}
+	if slot < 0 || slot >= len(sp.frame) {
+		w.fail(fmt.Errorf("token slot %d out of range for SP %q", slot, sp.tmpl.Name))
+		return
+	}
+	sp.frame[slot] = v
+	sp.present[slot] = true
+	if sp.blocked == slot {
+		sp.blocked = isa.None
+		w.ready = append(w.ready, sp)
+	}
+}
+
+// route delivers a token to an SP instance anywhere in the cluster: locally,
+// to the owning worker, or to the driver environment (ID 0).
+func (w *worker) route(id int64, slot int, v isa.Value) {
+	pe := peOf(id)
+	switch {
+	case pe == w.pe:
+		w.deliver(id, slot, v)
+	case pe < 0: // driver environment
+		w.send(w.driverID(), &Msg{Kind: KToken, SP: 0, Slot: int32(slot), Val: v})
+	case pe < w.n:
+		w.send(pe, &Msg{Kind: KToken, SP: id, Slot: int32(slot), Val: v})
+	default:
+		w.fail(fmt.Errorf("token for SP %d on unknown PE %d", id, pe))
+	}
+}
+
+// firstAbsent returns the first absent input slot of in, or isa.None.
+func firstAbsent(sp *spInst, in *isa.Instr) int {
+	if in.A != isa.None && !sp.present[in.A] {
+		return in.A
+	}
+	if in.B != isa.None && !sp.present[in.B] {
+		return in.B
+	}
+	for _, a := range in.Args {
+		if !sp.present[a] {
+			return a
+		}
+	}
+	return isa.None
+}
+
+func (sp *spInst) set(slot int, v isa.Value) {
+	sp.frame[slot] = v
+	sp.present[slot] = true
+}
+
+// suspendOnArray parks the SP until the header for array id arrives. The
+// program counter has not advanced, so the instruction re-executes on wake.
+func (w *worker) suspendOnArray(id int64, sp *spInst) {
+	w.waitArray[id] = append(w.waitArray[id], sp)
+}
+
+// header returns the installed header for an array handle value, or parks
+// the SP and returns nil when the alloc broadcast has not arrived yet.
+func (w *worker) header(sp *spInst, slot int) *istructure.Header {
+	hv := sp.frame[slot]
+	if hv.Kind != isa.KindArray {
+		w.fail(fmt.Errorf("%q: %s is not an array handle", sp.tmpl.Name, hv))
+		return nil
+	}
+	h := w.shard.Header(hv.I)
+	if h == nil {
+		w.suspendOnArray(hv.I, sp)
+	}
+	return h
+}
+
+// step interprets one ready SP until it halts, blocks on an absent operand,
+// or suspends on a missing array header.
+func (w *worker) step() {
+	sp := w.ready[w.readyHead]
+	w.ready[w.readyHead] = nil
+	w.readyHead++
+	if w.readyHead == len(w.ready) {
+		w.ready = w.ready[:0]
+		w.readyHead = 0
+	}
+
+	for {
+		if w.failed {
+			return
+		}
+		if sp.pc < 0 || sp.pc >= len(sp.tmpl.Code) {
+			w.fail(fmt.Errorf("%q pc %d out of range", sp.tmpl.Name, sp.pc))
+			return
+		}
+		ins := &sp.tmpl.Code[sp.pc]
+		if missing := firstAbsent(sp, ins); missing != isa.None {
+			sp.blocked = missing
+			return
+		}
+		next := sp.pc + 1
+		f := sp.frame
+		if isa.IsScalar(ins.Op) {
+			var bv isa.Value
+			if ins.B != isa.None {
+				bv = f[ins.B]
+			}
+			v, err := isa.EvalScalar(ins.Op, f[ins.A], bv)
+			if err != nil {
+				w.fail(fmt.Errorf("%q pc %d: %v", sp.tmpl.Name, sp.pc, err))
+				return
+			}
+			sp.set(ins.Dst, v)
+			sp.pc = next
+			continue
+		}
+		switch ins.Op {
+		case isa.NOP:
+		case isa.CONST:
+			sp.set(ins.Dst, ins.Imm)
+		case isa.MOVE:
+			sp.set(ins.Dst, f[ins.A])
+		case isa.CLEAR:
+			sp.present[ins.Dst] = false
+		case isa.SELF:
+			sp.set(ins.Dst, isa.SPRef(sp.id))
+
+		case isa.JUMP:
+			next = ins.Target
+		case isa.BRFALSE:
+			if !f[ins.A].AsBool() {
+				next = ins.Target
+			}
+		case isa.BRTRUE:
+			if f[ins.A].AsBool() {
+				next = ins.Target
+			}
+
+		case isa.ALLOC, isa.ALLOCD:
+			w.execAlloc(sp, ins)
+
+		case isa.AREAD:
+			if suspended := w.execRead(sp, ins); suspended {
+				return
+			}
+		case isa.AWRITE:
+			if suspended := w.execWrite(sp, ins); suspended {
+				return
+			}
+
+		case isa.ROWLO, isa.ROWHI:
+			h := w.header(sp, ins.A)
+			if h == nil {
+				return
+			}
+			lo, hi, ok := h.OwnedRows(w.pe)
+			if !ok {
+				lo, hi = 1, 0
+			}
+			v := lo
+			if ins.Op == isa.ROWHI {
+				v = hi
+			}
+			sp.set(ins.Dst, isa.Int(v))
+		case isa.COLLO, isa.COLHI:
+			h := w.header(sp, ins.A)
+			if h == nil {
+				return
+			}
+			lo, hi, ok := h.OwnedCols(w.pe, f[ins.B].AsInt())
+			if !ok {
+				lo, hi = 1, 0
+			}
+			v := lo
+			if ins.Op == isa.COLHI {
+				v = hi
+			}
+			sp.set(ins.Dst, isa.Int(v))
+		case isa.UNIFLO, isa.UNIFHI:
+			lo := f[ins.A].AsInt()
+			hi := f[ins.B].AsInt()
+			n := hi - lo + 1
+			if n < 0 {
+				n = 0
+			}
+			pes := int64(w.n)
+			id := int64(w.pe)
+			v := lo + n*id/pes
+			if ins.Op == isa.UNIFHI {
+				v = lo + n*(id+1)/pes - 1
+			}
+			sp.set(ins.Dst, isa.Int(v))
+
+		case isa.SPAWN, isa.SPAWND:
+			child := w.prog.Template(int(ins.Imm.I))
+			if child == nil {
+				w.fail(fmt.Errorf("%q pc %d: spawn of unknown template %d", sp.tmpl.Name, sp.pc, ins.Imm.I))
+				return
+			}
+			cargs := make([]isa.Value, len(ins.Args))
+			for i, s := range ins.Args {
+				cargs[i] = f[s]
+			}
+			if ins.Op == isa.SPAWND {
+				// The distributing L operator: one copy per PE. Remote
+				// copies each get their own argument slice — messages are
+				// receiver-owned.
+				for pe := 0; pe < w.n; pe++ {
+					if pe == w.pe {
+						w.instantiate(child, cargs)
+						continue
+					}
+					w.send(pe, &Msg{Kind: KSpawn, Tmpl: int32(child.ID), Args: append([]isa.Value(nil), cargs...)})
+				}
+			} else {
+				w.instantiate(child, cargs)
+			}
+
+		case isa.SEND:
+			ref := f[ins.A]
+			if ref.Kind != isa.KindSP {
+				w.fail(fmt.Errorf("%q pc %d: SEND target is %s, not an SP reference", sp.tmpl.Name, sp.pc, ref))
+				return
+			}
+			base := int64(0)
+			if len(ins.Args) > 0 {
+				base = f[ins.Args[0]].AsInt()
+			}
+			w.route(ref.I, int(base+ins.Imm.I), f[ins.B])
+
+		case isa.HALT:
+			delete(w.insts, sp.id)
+			return
+
+		default:
+			w.fail(fmt.Errorf("%q pc %d: unimplemented opcode %s", sp.tmpl.Name, sp.pc, ins.Op))
+			return
+		}
+		if w.failed {
+			return
+		}
+		sp.pc = next
+	}
+}

@@ -2,15 +2,16 @@
 // object: Idlite source (standing in for Id Nouveau) is compiled to
 // dataflow graphs, the Translator turns code blocks into Subcompact
 // Processes, the Partitioner inserts the distribution primitives
-// (distributing allocate, LD, Range Filters), and the result can be run
-// either on the instruction-level machine simulator or on the goroutine
-// runtime.
+// (distributing allocate, LD, Range Filters), and the result can be run on
+// any of the three backends: the instruction-level machine simulator, the
+// shared-memory goroutine runtime, or the message-passing cluster runtime.
 package core
 
 import (
 	"context"
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/idlang"
 	"repro/internal/isa"
@@ -83,4 +84,11 @@ func (s *System) Execute(ctx context.Context, cfg podsrt.Config, args ...isa.Val
 		return nil, nil, err
 	}
 	return v, rt, nil
+}
+
+// ExecuteCluster runs the program on the message-passing distributed-memory
+// runtime (in-process channel workers, or TCP workers when cfg.Workers is
+// set).
+func (s *System) ExecuteCluster(ctx context.Context, cfg cluster.Config, args ...isa.Value) (*cluster.Result, error) {
+	return cluster.Execute(ctx, s.Program, cfg, args...)
 }

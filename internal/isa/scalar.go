@@ -1,0 +1,141 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// IsScalar reports whether op is a pure scalar ALU operation that
+// EvalScalar can compute: no control flow, memory, or process effects.
+func IsScalar(op Opcode) bool {
+	switch op {
+	case IADD, ISUB, IMUL, IDIV, IMOD, INEG,
+		FADD, FSUB, FMUL, FDIV, FNEG, FABS, FSQRT, FPOW,
+		CMPLT, CMPLE, CMPGT, CMPGE, CMPEQ, CMPNE,
+		AND, OR, NOT, MAX, MIN, ITOF, FTOI:
+		return true
+	}
+	return false
+}
+
+// EvalScalar computes a pure scalar operation; unary ops ignore b. Every
+// execution backend evaluates scalar opcodes through this one helper, so
+// their arithmetic cannot diverge — the same single-source-of-truth
+// guarantee rtcfg provides for geometry defaults, and a precondition for
+// the Church-Rosser backend-agreement tests. Integer division or modulo by
+// zero is an error.
+func EvalScalar(op Opcode, a, b Value) (Value, error) {
+	switch op {
+	case IADD:
+		return Int(a.AsInt() + b.AsInt()), nil
+	case ISUB:
+		return Int(a.AsInt() - b.AsInt()), nil
+	case IMUL:
+		return Int(a.AsInt() * b.AsInt()), nil
+	case IDIV:
+		d := b.AsInt()
+		if d == 0 {
+			return Value{}, fmt.Errorf("integer division by zero")
+		}
+		return Int(a.AsInt() / d), nil
+	case IMOD:
+		d := b.AsInt()
+		if d == 0 {
+			return Value{}, fmt.Errorf("integer modulo by zero")
+		}
+		return Int(a.AsInt() % d), nil
+	case INEG:
+		return Int(-a.AsInt()), nil
+
+	case FADD:
+		return Float(a.AsFloat() + b.AsFloat()), nil
+	case FSUB:
+		return Float(a.AsFloat() - b.AsFloat()), nil
+	case FMUL:
+		return Float(a.AsFloat() * b.AsFloat()), nil
+	case FDIV:
+		return Float(a.AsFloat() / b.AsFloat()), nil
+	case FNEG:
+		return Float(-a.AsFloat()), nil
+	case FABS:
+		return Float(math.Abs(a.AsFloat())), nil
+	case FSQRT:
+		return Float(math.Sqrt(a.AsFloat())), nil
+	case FPOW:
+		return Float(math.Pow(a.AsFloat(), b.AsFloat())), nil
+
+	case CMPLT, CMPLE, CMPGT, CMPGE, CMPEQ, CMPNE:
+		return compareValues(op, a, b), nil
+	case AND:
+		return Bool(a.AsBool() && b.AsBool()), nil
+	case OR:
+		return Bool(a.AsBool() || b.AsBool()), nil
+	case NOT:
+		return Bool(!a.AsBool()), nil
+	case MAX, MIN:
+		return minmaxValues(op, a, b), nil
+	case ITOF:
+		return Float(a.AsFloat()), nil
+	case FTOI:
+		return Int(a.AsInt()), nil
+	}
+	return Value{}, fmt.Errorf("EvalScalar: %s is not a scalar opcode", op)
+}
+
+// compareValues orders two values — as floats when either side is a float,
+// as integers otherwise — and applies the comparison op.
+func compareValues(op Opcode, a, b Value) Value {
+	var c int
+	if a.Kind == KindFloat || b.Kind == KindFloat {
+		x, y := a.AsFloat(), b.AsFloat()
+		switch {
+		case x < y:
+			c = -1
+		case x > y:
+			c = 1
+		}
+	} else {
+		x, y := a.AsInt(), b.AsInt()
+		switch {
+		case x < y:
+			c = -1
+		case x > y:
+			c = 1
+		}
+	}
+	switch op {
+	case CMPLT:
+		return Bool(c < 0)
+	case CMPLE:
+		return Bool(c <= 0)
+	case CMPGT:
+		return Bool(c > 0)
+	case CMPGE:
+		return Bool(c >= 0)
+	case CMPEQ:
+		return Bool(c == 0)
+	default:
+		return Bool(c != 0)
+	}
+}
+
+// minmaxValues picks the extremum, preserving integer identity for
+// all-integer operands and following IEEE math.Max/Min when floats mix in.
+func minmaxValues(op Opcode, a, b Value) Value {
+	if a.Kind == KindFloat || b.Kind == KindFloat {
+		if op == MAX {
+			return Float(math.Max(a.AsFloat(), b.AsFloat()))
+		}
+		return Float(math.Min(a.AsFloat(), b.AsFloat()))
+	}
+	if op == MAX {
+		if a.AsInt() >= b.AsInt() {
+			return a
+		}
+		return b
+	}
+	if a.AsInt() <= b.AsInt() {
+		return a
+	}
+	return b
+}

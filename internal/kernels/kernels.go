@@ -1,0 +1,163 @@
+// Package kernels holds the paper's example workloads as Idlite sources in
+// one canonical place, so the examples, the benchmark harness, and the
+// backend-agreement (Church-Rosser) tests all compile exactly the same
+// programs. Each kernel names the arrays a test should gather and compare.
+package kernels
+
+import "repro/internal/isa"
+
+// Kernel is one benchmark workload: an Idlite program plus the argument
+// vector for a given problem size and the arrays whose final contents
+// define the program's observable result.
+type Kernel struct {
+	// Name is the kernel's short identifier ("matmul", "heat", ...).
+	Name string
+
+	// Source is the Idlite program text.
+	Source string
+
+	// Args builds main's argument vector for problem size n.
+	Args func(n int) []isa.Value
+
+	// Arrays lists the arrays to gather and compare across backends.
+	Arrays []string
+}
+
+// File returns the synthetic filename used when compiling the kernel.
+func (k Kernel) File() string { return k.Name + ".id" }
+
+// Matmul is the generic matrix-multiply example of §5.2: a dense product
+// with a loop-carried inner-product accumulator. PODS distributes the outer
+// loop over the rows of C and keeps the k-loop serial.
+const Matmul = `
+func main(n: int) {
+	A = array(n, n);
+	B = array(n, n);
+	for i = 1 to n {
+		for j = 1 to n {
+			A[i, j] = float(i + j);
+			B[i, j] = float(i - j) * 0.5;
+		}
+	}
+	C = array(n, n);
+	for i2 = 1 to n {
+		for j2 = 1 to n {
+			s = 0.0;
+			for k = 1 to n {
+				next s = s + A[i2, k] * B[k, j2];
+			}
+			C[i2, j2] = s;
+		}
+	}
+}
+`
+
+// Heat is an explicit Jacobi heat-diffusion step: a loop nest with no
+// loop-carried dependencies, so PODS distributes the row loop; neighbour
+// reads at segment boundaries exercise the remote page cache.
+const Heat = `
+func main(n: int) {
+	T0 = array(n, n);
+	for i = 1 to n {
+		for j = 1 to n {
+			hot = if i == 1 then 10.0 else 0.0;
+			T0[i, j] = hot + float(j) * 0.01;
+		}
+	}
+	T1 = array(n, n);
+	step(n, T0, T1);
+	T2 = array(n, n);
+	step(n, T1, T2);
+	T3 = array(n, n);
+	step(n, T2, T3);
+}
+
+func step(n: int, old: array2, new: array2) {
+	for i = 1 to n {
+		for j = 1 to n {
+			up    = if i == 1 then old[i, j] else old[i - 1, j];
+			down  = if i == n then old[i, j] else old[i + 1, j];
+			left  = if j == 1 then old[i, j] else old[i, j - 1];
+			right = if j == n then old[i, j] else old[i, j + 1];
+			new[i, j] = 0.25 * (up + down + left + right);
+		}
+	}
+}
+`
+
+// Pipeline chains three phases that synchronize element by element through
+// I-structure availability instead of barriers: consumers run ahead of
+// producers and their reads are deferred until the writes land.
+const Pipeline = `
+func model(x: float) -> float {
+	return sqrt(x * x + 1.0) * 0.5;
+}
+
+func main(n: int) {
+	A = array(n, n);
+	for i = 1 to n {
+		for j = 1 to n {
+			A[i, j] = model(float(i + j));
+		}
+	}
+	B = array(n, n);
+	for i2 = 1 to n {
+		for j2 = 1 to n {
+			left = if j2 == 1 then A[i2, j2] else A[i2, j2 - 1];
+			B[i2, j2] = A[i2, j2] + 0.5 * left;
+		}
+	}
+	R = array(n);
+	for i3 = 1 to n {
+		s = 0.0;
+		for k = 1 to n {
+			next s = s + B[i3, k];
+		}
+		R[i3] = s;
+	}
+}
+`
+
+// Mirror reads each element of A at the mirrored index, so with more than
+// one PE nearly every consumer iteration reads an element owned by another
+// PE — and because both loops run concurrently, many of those reads arrive
+// before the producer has written the element, exercising the remote
+// deferred-read path (the owner queues the request and replies on write).
+const Mirror = `
+func main(n: int) {
+	A = array(n, n);
+	B = array(n, n);
+	for i = 1 to n {
+		for j = 1 to n {
+			A[i, j] = float(i * 100 + j);
+		}
+	}
+	for i2 = 1 to n {
+		for j2 = 1 to n {
+			B[i2, j2] = A[n - i2 + 1, n - j2 + 1] * 2.0;
+		}
+	}
+}
+`
+
+// All returns the kernel registry.
+func All() []Kernel {
+	intArg := func(n int) []isa.Value { return []isa.Value{isa.Int(int64(n))} }
+	return []Kernel{
+		{Name: "matmul", Source: Matmul, Args: intArg, Arrays: []string{"A", "B", "C"}},
+		{Name: "heat", Source: Heat, Args: intArg,
+			Arrays: []string{"T0", "T1", "T2", "T3"}},
+		{Name: "pipeline", Source: Pipeline, Args: intArg, Arrays: []string{"A", "B", "R"}},
+		{Name: "mirror", Source: Mirror, Args: intArg, Arrays: []string{"A", "B"}},
+	}
+}
+
+// ByName returns the named kernel, or ok=false.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}

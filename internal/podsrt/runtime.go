@@ -15,11 +15,11 @@ package podsrt
 import (
 	"context"
 	"fmt"
-	"math"
 	"sync"
 
 	"repro/internal/isa"
 	"repro/internal/istructure"
+	"repro/internal/rtcfg"
 )
 
 // Config parameterizes the runtime.
@@ -36,16 +36,13 @@ type Config struct {
 	DistThreshold int
 }
 
-func (c *Config) fill() {
-	if c.VirtualPEs <= 0 {
-		c.VirtualPEs = 4
+func (c *Config) fill() error {
+	g := rtcfg.Geometry{PEs: c.VirtualPEs, PageElems: c.PageElems, DistThreshold: c.DistThreshold}
+	if err := g.Fill(rtcfg.DefaultPEs); err != nil {
+		return err
 	}
-	if c.PageElems <= 0 {
-		c.PageElems = 32
-	}
-	if c.DistThreshold <= 0 {
-		c.DistThreshold = 2 * c.PageElems
-	}
+	c.VirtualPEs, c.PageElems, c.DistThreshold = g.PEs, g.PageElems, g.DistThreshold
+	return nil
 }
 
 // Runtime executes one program.
@@ -96,7 +93,9 @@ type inst struct {
 
 // New builds a runtime for a validated program.
 func New(prog *isa.Program, cfg Config) (*Runtime, error) {
-	cfg.fill()
+	if err := cfg.fill(); err != nil {
+		return nil, fmt.Errorf("podsrt: %w", err)
+	}
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("podsrt: %w", err)
 	}
@@ -359,6 +358,20 @@ func (r *Runtime) exec(ctx context.Context, in *inst, args []isa.Value) {
 			}
 		}
 		next := pc + 1
+		if isa.IsScalar(ins.Op) {
+			var bv isa.Value
+			if ins.B != isa.None {
+				bv = frame[ins.B]
+			}
+			v, err := isa.EvalScalar(ins.Op, frame[ins.A], bv)
+			if err != nil {
+				r.fail(fmt.Errorf("podsrt: %q pc %d: %v", tmpl.Name, pc, err))
+				return
+			}
+			frame[ins.Dst], present[ins.Dst] = v, true
+			pc = next
+			continue
+		}
 		switch ins.Op {
 		case isa.NOP:
 		case isa.CONST:
@@ -369,60 +382,6 @@ func (r *Runtime) exec(ctx context.Context, in *inst, args []isa.Value) {
 			present[ins.Dst] = false
 		case isa.SELF:
 			frame[ins.Dst], present[ins.Dst] = isa.SPRef(in.id), true
-
-		case isa.IADD:
-			frame[ins.Dst], present[ins.Dst] = isa.Int(frame[ins.A].AsInt()+frame[ins.B].AsInt()), true
-		case isa.ISUB:
-			frame[ins.Dst], present[ins.Dst] = isa.Int(frame[ins.A].AsInt()-frame[ins.B].AsInt()), true
-		case isa.IMUL:
-			frame[ins.Dst], present[ins.Dst] = isa.Int(frame[ins.A].AsInt()*frame[ins.B].AsInt()), true
-		case isa.IDIV:
-			d := frame[ins.B].AsInt()
-			if d == 0 {
-				r.fail(fmt.Errorf("podsrt: %q pc %d: division by zero", tmpl.Name, pc))
-				return
-			}
-			frame[ins.Dst], present[ins.Dst] = isa.Int(frame[ins.A].AsInt()/d), true
-		case isa.IMOD:
-			d := frame[ins.B].AsInt()
-			if d == 0 {
-				r.fail(fmt.Errorf("podsrt: %q pc %d: modulo by zero", tmpl.Name, pc))
-				return
-			}
-			frame[ins.Dst], present[ins.Dst] = isa.Int(frame[ins.A].AsInt()%d), true
-		case isa.INEG:
-			frame[ins.Dst], present[ins.Dst] = isa.Int(-frame[ins.A].AsInt()), true
-		case isa.FADD:
-			frame[ins.Dst], present[ins.Dst] = isa.Float(frame[ins.A].AsFloat()+frame[ins.B].AsFloat()), true
-		case isa.FSUB:
-			frame[ins.Dst], present[ins.Dst] = isa.Float(frame[ins.A].AsFloat()-frame[ins.B].AsFloat()), true
-		case isa.FMUL:
-			frame[ins.Dst], present[ins.Dst] = isa.Float(frame[ins.A].AsFloat()*frame[ins.B].AsFloat()), true
-		case isa.FDIV:
-			frame[ins.Dst], present[ins.Dst] = isa.Float(frame[ins.A].AsFloat()/frame[ins.B].AsFloat()), true
-		case isa.FNEG:
-			frame[ins.Dst], present[ins.Dst] = isa.Float(-frame[ins.A].AsFloat()), true
-		case isa.FABS:
-			frame[ins.Dst], present[ins.Dst] = isa.Float(math.Abs(frame[ins.A].AsFloat())), true
-		case isa.FSQRT:
-			frame[ins.Dst], present[ins.Dst] = isa.Float(math.Sqrt(frame[ins.A].AsFloat())), true
-		case isa.FPOW:
-			frame[ins.Dst], present[ins.Dst] = isa.Float(math.Pow(frame[ins.A].AsFloat(), frame[ins.B].AsFloat())), true
-
-		case isa.CMPLT, isa.CMPLE, isa.CMPGT, isa.CMPGE, isa.CMPEQ, isa.CMPNE:
-			frame[ins.Dst], present[ins.Dst] = compare(ins.Op, frame[ins.A], frame[ins.B]), true
-		case isa.AND:
-			frame[ins.Dst], present[ins.Dst] = isa.Bool(frame[ins.A].AsBool() && frame[ins.B].AsBool()), true
-		case isa.OR:
-			frame[ins.Dst], present[ins.Dst] = isa.Bool(frame[ins.A].AsBool() || frame[ins.B].AsBool()), true
-		case isa.NOT:
-			frame[ins.Dst], present[ins.Dst] = isa.Bool(!frame[ins.A].AsBool()), true
-		case isa.MAX, isa.MIN:
-			frame[ins.Dst], present[ins.Dst] = minmax(ins.Op, frame[ins.A], frame[ins.B]), true
-		case isa.ITOF:
-			frame[ins.Dst], present[ins.Dst] = isa.Float(frame[ins.A].AsFloat()), true
-		case isa.FTOI:
-			frame[ins.Dst], present[ins.Dst] = isa.Int(frame[ins.A].AsInt()), true
 
 		case isa.JUMP:
 			next = ins.Target
@@ -557,58 +516,4 @@ func (a *rtArray) offset(frame []isa.Value, idxSlots []int) (int, error) {
 		idx[i] = frame[s].AsInt()
 	}
 	return a.h.Offset(idx)
-}
-
-func compare(op isa.Opcode, a, b isa.Value) isa.Value {
-	var c int
-	if a.Kind == isa.KindFloat || b.Kind == isa.KindFloat {
-		x, y := a.AsFloat(), b.AsFloat()
-		switch {
-		case x < y:
-			c = -1
-		case x > y:
-			c = 1
-		}
-	} else {
-		x, y := a.AsInt(), b.AsInt()
-		switch {
-		case x < y:
-			c = -1
-		case x > y:
-			c = 1
-		}
-	}
-	switch op {
-	case isa.CMPLT:
-		return isa.Bool(c < 0)
-	case isa.CMPLE:
-		return isa.Bool(c <= 0)
-	case isa.CMPGT:
-		return isa.Bool(c > 0)
-	case isa.CMPGE:
-		return isa.Bool(c >= 0)
-	case isa.CMPEQ:
-		return isa.Bool(c == 0)
-	default:
-		return isa.Bool(c != 0)
-	}
-}
-
-func minmax(op isa.Opcode, a, b isa.Value) isa.Value {
-	if a.Kind == isa.KindFloat || b.Kind == isa.KindFloat {
-		if op == isa.MAX {
-			return isa.Float(math.Max(a.AsFloat(), b.AsFloat()))
-		}
-		return isa.Float(math.Min(a.AsFloat(), b.AsFloat()))
-	}
-	if op == isa.MAX {
-		if a.AsInt() >= b.AsInt() {
-			return a
-		}
-		return b
-	}
-	if a.AsInt() <= b.AsInt() {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,50 @@
+package rtcfg
+
+import (
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func TestFillDefaults(t *testing.T) {
+	var g Geometry
+	if err := g.Fill(DefaultPEs); err != nil {
+		t.Fatal(err)
+	}
+	if g.PEs != DefaultPEs {
+		t.Errorf("PEs = %d, want %d", g.PEs, DefaultPEs)
+	}
+	if g.PageElems != timing.DefaultPageElems {
+		t.Errorf("PageElems = %d, want %d", g.PageElems, timing.DefaultPageElems)
+	}
+	if g.DistThreshold != 2*timing.DefaultPageElems {
+		t.Errorf("DistThreshold = %d, want %d", g.DistThreshold, 2*timing.DefaultPageElems)
+	}
+}
+
+func TestFillKeepsExplicit(t *testing.T) {
+	g := Geometry{PEs: 7, PageElems: 16, DistThreshold: 5}
+	if err := g.Fill(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.PEs != 7 || g.PageElems != 16 || g.DistThreshold != 5 {
+		t.Errorf("explicit values changed: %+v", g)
+	}
+}
+
+func TestFillDistThresholdTracksPageElems(t *testing.T) {
+	g := Geometry{PageElems: 8}
+	if err := g.Fill(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.DistThreshold != 16 {
+		t.Errorf("DistThreshold = %d, want 16 (2 × explicit PageElems)", g.DistThreshold)
+	}
+}
+
+func TestFillRejectsHugePEs(t *testing.T) {
+	g := Geometry{PEs: MaxPEs + 1}
+	if err := g.Fill(1); err == nil {
+		t.Fatal("want error for PEs above MaxPEs")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/rtcfg"
 	"repro/internal/timing"
 )
 
@@ -49,15 +50,11 @@ type Config struct {
 }
 
 func (c *Config) fill() error {
-	if c.NumPEs <= 0 {
-		c.NumPEs = 1
+	g := rtcfg.Geometry{PEs: c.NumPEs, PageElems: c.PageElems, DistThreshold: c.DistThreshold}
+	if err := g.Fill(1); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
-	if c.PageElems <= 0 {
-		c.PageElems = timing.DefaultPageElems
-	}
-	if c.DistThreshold <= 0 {
-		c.DistThreshold = 2 * c.PageElems
-	}
+	c.NumPEs, c.PageElems, c.DistThreshold = g.PEs, g.PageElems, g.DistThreshold
 	if c.MaxEvents <= 0 {
 		c.MaxEvents = 2_000_000_000
 	}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/isa"
 	"repro/internal/timing"
@@ -187,6 +186,21 @@ func (p *pe) perform(sp *spInst, in *isa.Instr, now int64) (halted, endBurst boo
 	f := sp.frame
 	next := sp.pc + 1
 
+	if isa.IsScalar(in.Op) {
+		var bv isa.Value
+		if in.B != isa.None {
+			bv = f[in.B]
+		}
+		v, err := isa.EvalScalar(in.Op, f[in.A], bv)
+		if err != nil {
+			m.fail(fmt.Errorf("sim: SP %q pc %d: %v", sp.tmpl.Name, sp.pc, err))
+			return false, true
+		}
+		sp.set(in.Dst, v)
+		sp.pc = next
+		return false, false
+	}
+
 	switch in.Op {
 	case isa.NOP:
 
@@ -198,76 +212,6 @@ func (p *pe) perform(sp *spInst, in *isa.Instr, now int64) (halted, endBurst boo
 		sp.present[in.Dst] = false
 	case isa.SELF:
 		sp.set(in.Dst, isa.SPRef(sp.id))
-
-	case isa.IADD:
-		sp.set(in.Dst, isa.Int(f[in.A].AsInt()+f[in.B].AsInt()))
-	case isa.ISUB:
-		sp.set(in.Dst, isa.Int(f[in.A].AsInt()-f[in.B].AsInt()))
-	case isa.IMUL:
-		sp.set(in.Dst, isa.Int(f[in.A].AsInt()*f[in.B].AsInt()))
-	case isa.IDIV:
-		b := f[in.B].AsInt()
-		if b == 0 {
-			m.fail(fmt.Errorf("sim: SP %q pc %d: integer division by zero", sp.tmpl.Name, sp.pc))
-			return false, true
-		}
-		sp.set(in.Dst, isa.Int(f[in.A].AsInt()/b))
-	case isa.IMOD:
-		b := f[in.B].AsInt()
-		if b == 0 {
-			m.fail(fmt.Errorf("sim: SP %q pc %d: integer modulo by zero", sp.tmpl.Name, sp.pc))
-			return false, true
-		}
-		sp.set(in.Dst, isa.Int(f[in.A].AsInt()%b))
-	case isa.INEG:
-		sp.set(in.Dst, isa.Int(-f[in.A].AsInt()))
-
-	case isa.FADD:
-		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()+f[in.B].AsFloat()))
-	case isa.FSUB:
-		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()-f[in.B].AsFloat()))
-	case isa.FMUL:
-		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()*f[in.B].AsFloat()))
-	case isa.FDIV:
-		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()/f[in.B].AsFloat()))
-	case isa.FNEG:
-		sp.set(in.Dst, isa.Float(-f[in.A].AsFloat()))
-	case isa.FABS:
-		sp.set(in.Dst, isa.Float(math.Abs(f[in.A].AsFloat())))
-	case isa.FSQRT:
-		sp.set(in.Dst, isa.Float(math.Sqrt(f[in.A].AsFloat())))
-	case isa.FPOW:
-		sp.set(in.Dst, isa.Float(math.Pow(f[in.A].AsFloat(), f[in.B].AsFloat())))
-
-	case isa.CMPLT:
-		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c < 0 }))
-	case isa.CMPLE:
-		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c <= 0 }))
-	case isa.CMPGT:
-		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c > 0 }))
-	case isa.CMPGE:
-		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c >= 0 }))
-	case isa.CMPEQ:
-		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c == 0 }))
-	case isa.CMPNE:
-		sp.set(in.Dst, cmpValues(f[in.A], f[in.B], func(c int) bool { return c != 0 }))
-
-	case isa.AND:
-		sp.set(in.Dst, isa.Bool(f[in.A].AsBool() && f[in.B].AsBool()))
-	case isa.OR:
-		sp.set(in.Dst, isa.Bool(f[in.A].AsBool() || f[in.B].AsBool()))
-	case isa.NOT:
-		sp.set(in.Dst, isa.Bool(!f[in.A].AsBool()))
-
-	case isa.MAX:
-		sp.set(in.Dst, maxValue(f[in.A], f[in.B]))
-	case isa.MIN:
-		sp.set(in.Dst, minValue(f[in.A], f[in.B]))
-
-	case isa.ITOF:
-		sp.set(in.Dst, isa.Float(f[in.A].AsFloat()))
-	case isa.FTOI:
-		sp.set(in.Dst, isa.Int(f[in.A].AsInt()))
 
 	case isa.JUMP:
 		next = in.Target
@@ -314,48 +258,6 @@ func (p *pe) perform(sp *spInst, in *isa.Instr, now int64) (halted, endBurst boo
 
 	sp.pc = next
 	return false, endBurst
-}
-
-func cmpValues(a, b isa.Value, ok func(int) bool) isa.Value {
-	var c int
-	if a.Kind == isa.KindFloat || b.Kind == isa.KindFloat {
-		af, bf := a.AsFloat(), b.AsFloat()
-		switch {
-		case af < bf:
-			c = -1
-		case af > bf:
-			c = 1
-		}
-	} else {
-		ai, bi := a.AsInt(), b.AsInt()
-		switch {
-		case ai < bi:
-			c = -1
-		case ai > bi:
-			c = 1
-		}
-	}
-	return isa.Bool(ok(c))
-}
-
-func maxValue(a, b isa.Value) isa.Value {
-	if a.Kind == isa.KindFloat || b.Kind == isa.KindFloat {
-		return isa.Float(math.Max(a.AsFloat(), b.AsFloat()))
-	}
-	if a.AsInt() >= b.AsInt() {
-		return a
-	}
-	return b
-}
-
-func minValue(a, b isa.Value) isa.Value {
-	if a.Kind == isa.KindFloat || b.Kind == isa.KindFloat {
-		return isa.Float(math.Min(a.AsFloat(), b.AsFloat()))
-	}
-	if a.AsInt() <= b.AsInt() {
-		return a
-	}
-	return b
 }
 
 // performOwnership answers Range-Filter queries against the local array

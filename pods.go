@@ -19,14 +19,18 @@
 //
 // Simulate runs the instruction-level machine simulator parameterized with
 // the paper's measured iPSC/2 timings; Execute runs the same program for
-// real on goroutines. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the paper-vs-measured record.
+// real on goroutines over one shared I-structure store; ExecuteCluster runs
+// it on a message-passing distributed-memory runtime whose PEs share
+// nothing and can even be separate OS processes (see cmd/podsd). See
+// DESIGN.md for the system inventory, the backend matrix, and the
+// experiment index.
 package pods
 
 import (
 	"context"
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/isa"
@@ -49,6 +53,9 @@ type SimConfig = sim.Config
 
 // RunConfig parameterizes the goroutine runtime.
 type RunConfig = podsrt.Config
+
+// ClusterConfig parameterizes the message-passing cluster runtime.
+type ClusterConfig = cluster.Config
 
 // GraphBuilder constructs dataflow programs directly (the API the Idlite
 // frontend itself uses).
@@ -146,6 +153,38 @@ func (p *Program) Execute(ctx context.Context, cfg RunConfig, args ...Value) (*E
 		return nil, err
 	}
 	return &ExecResult{Value: v, rt: rt}, nil
+}
+
+// ClusterResult is a completed distributed-memory (message-passing) run.
+type ClusterResult struct {
+	// Value is the program's returned value (nil for void main).
+	Value *Value
+	res   *cluster.Result
+}
+
+// Array gathers a named array written by the program.
+func (r *ClusterResult) Array(name string) (vals []float64, mask []bool, dims []int, err error) {
+	return r.res.ReadArray(name)
+}
+
+// Arrays lists the names of all arrays the program allocated.
+func (r *ClusterResult) Arrays() []string { return r.res.ArrayNames() }
+
+// Stats reports cluster-wide dynamic counts (messages, deferred reads,
+// page-cache traffic).
+func (r *ClusterResult) Stats() cluster.Stats { return r.res.Stats }
+
+// ExecuteCluster runs the program on the message-passing distributed-memory
+// runtime: cfg.NumPEs share-nothing workers over an in-process channel
+// transport, or — when cfg.Workers lists addresses — TCP workers running as
+// separate processes (`podsd -worker`). The context bounds the run; a
+// deadlocked dataflow program is reported when it expires.
+func (p *Program) ExecuteCluster(ctx context.Context, cfg ClusterConfig, args ...Value) (*ClusterResult, error) {
+	res, err := p.sys.ExecuteCluster(ctx, cfg, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterResult{Value: res.Value, res: res}, nil
 }
 
 // MustCompile is Compile that panics on error (for examples and tests).
