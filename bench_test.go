@@ -188,6 +188,25 @@ func BenchmarkBackends(b *testing.B) {
 	}
 }
 
+// BenchmarkSkewSteal regenerates the SKEW experiment on a reduced axis
+// (triangular + mirror at 4 PEs) and reports how much of the skewed
+// kernel's makespan — the maximum per-PE instruction count, the wall-clock
+// bound on one-core-per-PE hardware — work stealing recovers.
+func BenchmarkSkewSteal(b *testing.B) {
+	var ratio, util float64
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Skew(48, []int{4}, "triangular")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := r.Cells["triangular"][4]
+		ratio = float64(c[0].Makespan) / float64(c[1].Makespan)
+		util = c[1].Util
+	}
+	b.ReportMetric(ratio, "makespan-off/on:tri@4PE")
+	b.ReportMetric(util, "util-on:tri@4PE")
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed (virtual
 // instructions per wall second) on the 16×16 SIMPLE — a performance guard
 // for the DES core itself.

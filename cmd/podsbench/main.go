@@ -12,6 +12,8 @@
 //	PAGE — page-size sensitivity sweep ([BIC89] "not a critical parameter")
 //	BACK — the three execution backends (sim, podsrt, cluster) head-to-head
 //	       on the paper kernels (matmul, heat, pipeline)
+//	SKEW — work stealing on/off × PE counts on the skewed kernels
+//	       (triangular, mirror): wall clock, makespan, utilization recovered
 //
 // Usage:
 //
@@ -41,7 +43,7 @@ func main() {
 
 func run(argv []string) error {
 	fs := flag.NewFlagSet("podsbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK,SKEW) or 'all'")
 	quick := fs.Bool("quick", false, "reduced axes (smaller sizes, fewer PE counts)")
 	csvDir := fs.String("csv", "", "also write figure data as CSV files into this directory")
 	if err := fs.Parse(argv); err != nil {
@@ -53,12 +55,14 @@ func run(argv []string) error {
 	e1n := 32
 	ablN, ablPEs := 32, 16
 	backN, backPEs := 24, 8
+	skewN, skewPEs := 96, []int{1, 2, 4, 8}
 	if *quick {
 		pes = []int{1, 4, 16}
 		sizes = []int{8, 16}
 		e1n = 16
 		ablN, ablPEs = 16, 8
 		backN, backPEs = 12, 4
+		skewN, skewPEs = 32, []int{1, 4}
 	}
 
 	want := map[string]bool{}
@@ -151,6 +155,17 @@ func run(argv []string) error {
 		}
 		fmt.Print(r.Format())
 		if err := emitCSV(*csvDir, "backends.csv", r.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if section("SKEW") {
+		fmt.Println(hr)
+		r, err := bench.Skew(skewN, skewPEs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		if err := emitCSV(*csvDir, "skew.csv", r.WriteCSV); err != nil {
 			return err
 		}
 	}

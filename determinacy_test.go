@@ -2,10 +2,11 @@
 // must produce identical results no matter how its operations are
 // scheduled. We compile each example kernel once and assert that all three
 // backends — the discrete-event simulator, the shared-memory goroutine
-// runtime, and the message-passing cluster runtime — produce bit-for-bit
-// identical array contents at every PE count, including the mirror kernel,
-// whose consumers race ahead of producers and exercise remote deferred
-// reads.
+// runtime, and the message-passing cluster runtime (with work stealing
+// both off and on) — produce bit-for-bit identical array contents at every
+// PE count, including the mirror kernel, whose consumers race ahead of
+// producers and exercise remote deferred reads, and the triangular kernel,
+// whose skewed load makes the steal-on column actually migrate SPs.
 package pods_test
 
 import (
@@ -109,6 +110,15 @@ func TestBackendAgreement(t *testing.T) {
 					t.Fatalf("cluster@%d: %v", pes, err)
 				}
 				assertSame(t, fmt.Sprintf("cluster@%d", pes), gather(t, k, "cluster", cres.Array), want)
+
+				// The steal-on column: dynamic SP migration must not be
+				// observable in the results either.
+				sres2, err := p.ExecuteCluster(ctx,
+					pods.ClusterConfig{NumPEs: pes, PageElems: determinacyPage, Steal: true}, args...)
+				if err != nil {
+					t.Fatalf("cluster+steal@%d: %v", pes, err)
+				}
+				assertSame(t, fmt.Sprintf("cluster+steal@%d", pes), gather(t, k, "cluster+steal", sres2.Array), want)
 			}
 		})
 	}

@@ -48,12 +48,17 @@ func TestMsgCodecRoundTrip(t *testing.T) {
 		{Kind: KWrite, Arr: 77, Off: 40, Val: isa.Int(-9)},
 		{Kind: KFail, Name: "pe 1: boom"},
 		{Kind: KProbe, Round: 12},
-		{Kind: KAck, Round: 12, Sent: 100, Recv: 99, Live: 3, Deferred: 7, Hits: 5, Misses: 2},
+		{Kind: KAck, Round: 12, Sent: 100, Recv: 99, Live: 3, Deferred: 7, Hits: 5, Misses: 2,
+			Steals: 4, Forwards: 6, Instrs: 12345},
 		{Kind: KDumpReq, Arr: 77},
 		{Kind: KDump, Arr: 77, Off: 64, Vals: []isa.Value{isa.Float(1.5)}, Set: []bool{true}},
-		{Kind: KInit, PE: 1, NumPEs: 4, PageElems: 32, DistThreshold: 64,
+		{Kind: KInit, PE: 1, NumPEs: 4, PageElems: 32, DistThreshold: 64, Steal: true,
 			Peers: []string{"a:1", "b:2"}, Prog: []byte("{}")},
 		{Kind: KStop},
+		{Kind: KStealReq, From: 2},
+		{Kind: KStealGrant, SP: packID(1, 9), Tmpl: 3,
+			Args: []isa.Value{isa.Int(7), {}}, Set: []bool{true, false}},
+		{Kind: KStealNone},
 	}
 	for _, m := range msgs {
 		b := encodeMsg(nil, m)

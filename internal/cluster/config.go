@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/rtcfg"
@@ -31,6 +32,21 @@ type Config struct {
 	// rounds. Defaults to 100µs (the driver backs off geometrically up to
 	// 50× this while the program is still running).
 	ProbeInterval time.Duration
+
+	// Steal enables dynamic work stealing: an idle worker asks a peer
+	// (round-robin with backoff) for a not-yet-started SP instance, and
+	// the victim leaves a forwarding stub behind for tokens addressed to
+	// the stolen SP's home ID. Off by default — static SPAWND
+	// partitioning only. The PODS_FORCE_STEAL environment variable
+	// ("1"/"true") forces it on, so a CI leg can run the whole steal-off
+	// test matrix with stealing engaged.
+	Steal bool
+
+	// Latency injects a fixed per-hop delay into the in-process channel
+	// transport (every message is held that long before it becomes
+	// receivable; per-pair FIFO is preserved). Zero means deliver
+	// immediately. Ignored for TCP workers, whose latency is real.
+	Latency time.Duration
 }
 
 // fill applies the shared backend defaults and validates the result.
@@ -49,5 +65,20 @@ func (c *Config) fill() error {
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 100 * time.Microsecond
 	}
+	if c.Latency < 0 {
+		return fmt.Errorf("cluster: negative injected latency %v", c.Latency)
+	}
+	if ForceStealFromEnv() {
+		c.Steal = true
+	}
 	return nil
+}
+
+// ForceStealFromEnv reports whether the PODS_FORCE_STEAL environment
+// override is active ("1" or "true"). Exported so experiment harnesses
+// whose control arms depend on stealing being genuinely off (bench.Skew)
+// test the exact condition fill applies.
+func ForceStealFromEnv() bool {
+	v := os.Getenv("PODS_FORCE_STEAL")
+	return v == "1" || v == "true"
 }

@@ -64,7 +64,9 @@ func (w *worker) installArray(h *istructure.Header) {
 		return
 	}
 	if sps := w.waitArray[h.ID]; len(sps) > 0 {
-		w.ready = append(w.ready, sps...)
+		for _, sp := range sps {
+			w.enqueue(sp)
+		}
 		delete(w.waitArray, h.ID)
 	}
 	if msgs := w.pending[h.ID]; len(msgs) > 0 {

@@ -82,6 +82,22 @@ const (
 
 	// KStop shuts a worker down.
 	KStop
+
+	// KStealReq asks a peer for one not-yet-started SP instance. Sent by
+	// an idle worker (empty ready queue) to a victim chosen round-robin
+	// with backoff.
+	KStealReq
+
+	// KStealGrant answers a steal request with a stolen SP: its home ID
+	// (SP), template (Tmpl), and operand frame (Args holds the values,
+	// Set the presence bits). The victim leaves a forwarding stub behind
+	// so tokens addressed to the home ID are relayed to the thief.
+	KStealGrant
+
+	// KStealNone answers a steal request when the victim has nothing to
+	// give (unloaded, failed, or only in-flight SPs); the thief's backoff
+	// grows.
+	KStealNone
 )
 
 func (k MsgKind) String() string {
@@ -112,6 +128,12 @@ func (k MsgKind) String() string {
 		return "dump"
 	case KStop:
 		return "stop"
+	case KStealReq:
+		return "stealReq"
+	case KStealGrant:
+		return "stealGrant"
+	case KStealNone:
+		return "stealNone"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(k))
 	}
@@ -151,20 +173,30 @@ type Msg struct {
 	Deferred   int64 // shard deferred-read count (ack)
 	Hits       int64 // page-cache hits (ack)
 	Misses     int64 // page-cache misses (ack)
+	Steals     int64 // SPs stolen and installed by this worker (ack)
+	Forwards   int64 // tokens relayed through forwarding stubs (ack)
+	Instrs     int64 // instructions executed by this worker (ack)
 
 	// Worker configuration (init).
 	PE            int32
 	NumPEs        int32
 	PageElems     int32
 	DistThreshold int32
+	Steal         bool
 	Peers         []string
 	Prog          []byte
 }
 
 // isData reports whether the kind is counted by termination detection.
+// Of the steal traffic, exactly the grant is data: a KStealGrant in flight
+// carries a live SP, so it must keep the four counters unequal (and the
+// granting victim holds the SP in its live count until the moment it
+// sends). KStealReq/KStealNone are scheduling control-plane like probes —
+// counting them would let the idle workers' own polling hold off
+// termination detection indefinitely.
 func (k MsgKind) isData() bool {
 	switch k {
-	case KSpawn, KToken, KAlloc, KReadReq, KPage, KWrite:
+	case KSpawn, KToken, KAlloc, KReadReq, KPage, KWrite, KStealGrant:
 		return true
 	}
 	return false
@@ -238,10 +270,18 @@ func encodeMsg(b []byte, m *Msg) []byte {
 	b = appendI64(b, m.Deferred)
 	b = appendI64(b, m.Hits)
 	b = appendI64(b, m.Misses)
+	b = appendI64(b, m.Steals)
+	b = appendI64(b, m.Forwards)
+	b = appendI64(b, m.Instrs)
 	b = appendI32(b, m.PE)
 	b = appendI32(b, m.NumPEs)
 	b = appendI32(b, m.PageElems)
 	b = appendI32(b, m.DistThreshold)
+	if m.Steal {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
 	b = appendU32(b, uint32(len(m.Peers)))
 	for _, p := range m.Peers {
 		b = appendString(b, p)
@@ -370,10 +410,14 @@ func decodeMsg(b []byte) (*Msg, error) {
 	m.Deferred = r.i64()
 	m.Hits = r.i64()
 	m.Misses = r.i64()
+	m.Steals = r.i64()
+	m.Forwards = r.i64()
+	m.Instrs = r.i64()
 	m.PE = r.i32()
 	m.NumPEs = r.i32()
 	m.PageElems = r.i32()
 	m.DistThreshold = r.i32()
+	m.Steal = r.u8() != 0
 	if n := r.sliceLen(4); n > 0 {
 		m.Peers = make([]string, n)
 		for i := range m.Peers {

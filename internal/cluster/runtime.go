@@ -18,6 +18,8 @@ type Stats struct {
 	CacheHits     int64 // remote reads satisfied from the page cache
 	CacheMisses   int64 // remote reads that fetched a page
 	MsgsSent      int64 // worker-to-worker data messages
+	Steals        int64 // SP instances migrated by work stealing
+	Forwards      int64 // tokens relayed through forwarding stubs
 }
 
 // gathered is one assembled array after a run.
@@ -25,6 +27,25 @@ type gathered struct {
 	h    *istructure.Header
 	vals []float64
 	mask []bool
+}
+
+// merge folds one worker's KDump segment into the assembled array. The
+// offsets come off the wire, so they are validated against the assembled
+// size — a corrupt or duplicated dump must fail the run, not panic the
+// driver.
+func (g *gathered) merge(m *Msg) error {
+	base := int(m.Off)
+	if base < 0 || len(m.Vals) != len(m.Set) || base > len(g.vals)-len(m.Vals) {
+		return fmt.Errorf("cluster: dump segment [%d,%d) with %d presence bits does not fit array %q (%d elements)",
+			base, base+len(m.Vals), len(m.Set), g.h.Name, len(g.vals))
+	}
+	for i, v := range m.Vals {
+		if m.Set[i] {
+			g.vals[base+i] = v.AsFloat()
+			g.mask[base+i] = true
+		}
+	}
+	return nil
 }
 
 // Result is a completed cluster run: the program's returned value (if any),
@@ -39,6 +60,11 @@ type Result struct {
 	// NumPEs is the effective worker count after defaults were applied
 	// (cfg.NumPEs may be zero on entry).
 	NumPEs int
+
+	// PEInstrs is each worker's executed-instruction count — the per-PE
+	// load distribution (the SKEW experiment derives its balance metric
+	// from it).
+	PEInstrs []int64
 
 	arrays  map[int64]*gathered
 	byName  map[string]int64
@@ -95,13 +121,13 @@ func Execute(ctx context.Context, prog *isa.Program, cfg Config, args ...isa.Val
 	// In-process channel transport: one goroutine per PE, zero shared
 	// program state — the workers communicate only through their
 	// endpoints.
-	eps := newChanTransport(cfg.NumPEs)
+	eps := newChanTransport(cfg.NumPEs, cfg.Latency)
 	geo := rtcfg.Geometry{PEs: cfg.NumPEs, PageElems: cfg.PageElems, DistThreshold: cfg.DistThreshold}
 	var wg sync.WaitGroup
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	for pe := 0; pe < cfg.NumPEs; pe++ {
-		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe])
+		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], cfg.Steal)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -165,7 +191,8 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 		case KFail:
 			return fmt.Errorf("cluster: %s", m.Name)
 		case KAck:
-			if m.Round == round && det.record(int(m.From), m) {
+			// The detector ignores stale-round and duplicate acks itself.
+			if det.record(int(m.From), m) {
 				roundComplete = true
 			}
 		case KDump:
@@ -173,12 +200,8 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			if g == nil {
 				return fmt.Errorf("cluster: dump for unknown array %d", m.Arr)
 			}
-			base := int(m.Off)
-			for i, v := range m.Vals {
-				if m.Set[i] {
-					g.vals[base+i] = v.AsFloat()
-					g.mask[base+i] = true
-				}
+			if err := g.merge(m); err != nil {
+				return err
 			}
 		default:
 			return fmt.Errorf("cluster: driver got unexpected %s message", m.Kind)
@@ -193,6 +216,7 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	for {
 		round++
 		roundComplete = false
+		det.begin(round)
 		for pe := 0; pe < n; pe++ {
 			if err := ep.Send(pe, &Msg{Kind: KProbe, Round: round}); err != nil {
 				stopAll()
@@ -224,6 +248,7 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 		}
 	}
 	res.Stats = det.stats()
+	res.PEInstrs = det.perPEInstrs()
 
 	// Gather: ask each owning PE for its segment of every array.
 	expect := 0

@@ -1,0 +1,715 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/istructure"
+	"repro/internal/kernels"
+	"repro/internal/rtcfg"
+	"repro/internal/sim"
+)
+
+// taskProgram builds a minimal hand-assembled program for the white-box
+// steal tests: template 0 ("task", the entry) takes a continuation SP
+// reference and a float; it blocks on a token slot, adds it to its
+// argument, sends the sum to the continuation, and halts.
+func taskProgram() *isa.Program {
+	add := isa.NewInstr(isa.FADD)
+	add.Dst, add.A, add.B = 3, 1, 2
+	snd := isa.NewInstr(isa.SEND)
+	snd.A, snd.B = 0, 3
+	snd.Imm = isa.Int(0)
+	return &isa.Program{
+		EntryID: 0,
+		Templates: []*isa.Template{{
+			ID:      0,
+			Name:    "task",
+			Kind:    isa.TmplMain,
+			NParams: 2,
+			NSlots:  4,
+			Code:    []isa.Instr{add, snd, isa.NewInstr(isa.HALT)},
+		}},
+	}
+}
+
+// simArraysMasked runs the simulator as the reference backend, returning
+// values and written-masks (kernels like triangular legitimately leave
+// elements unwritten, which plain simArrays rejects).
+func simArraysMasked(t *testing.T, prog *isa.Program, pes int, names []string,
+	args ...isa.Value) (map[string][]float64, map[string][]bool) {
+	t.Helper()
+	m, err := sim.New(prog, sim.Config{NumPEs: pes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(args...); err != nil {
+		t.Fatal(err)
+	}
+	vals := make(map[string][]float64)
+	masks := make(map[string][]bool)
+	for _, name := range names {
+		v, mask, _, err := m.ReadArray(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[name], masks[name] = v, mask
+	}
+	return vals, masks
+}
+
+// checkAgainstSimMasked asserts a cluster result agrees bit-for-bit with
+// the simulator on both values and written-masks.
+func checkAgainstSimMasked(t *testing.T, res *Result, wantVals map[string][]float64, wantMasks map[string][]bool) {
+	t.Helper()
+	for name, ref := range wantVals {
+		vals, mask, _, err := res.ReadArray(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != len(ref) {
+			t.Fatalf("%s: %d elements, want %d", name, len(vals), len(ref))
+		}
+		for i := range ref {
+			if mask[i] != wantMasks[name][i] {
+				t.Fatalf("%s[%d]: written=%v, want %v", name, i, mask[i], wantMasks[name][i])
+			}
+			if mask[i] && vals[i] != ref[i] {
+				t.Fatalf("%s[%d] = %v, want %v (cluster disagrees with sim)", name, i, vals[i], ref[i])
+			}
+		}
+	}
+}
+
+// pumpWorker drains one worker's mailbox and runs its ready SPs to
+// quiescence, single-threaded and deterministic.
+func pumpWorker(w *worker, ep Endpoint) bool {
+	progress := false
+	for {
+		stepped := false
+		for {
+			m, ok := ep.TryRecv()
+			if !ok {
+				break
+			}
+			w.handle(m)
+			progress, stepped = true, true
+		}
+		for w.readyHead != len(w.ready) {
+			w.step()
+			progress, stepped = true, true
+		}
+		if !stepped {
+			return progress
+		}
+	}
+}
+
+// TestStealProtocolGrantForwardLateToken walks the whole steal protocol
+// deterministically, with no goroutines: a victim grants its oldest
+// not-yet-started SP, tokens for the stolen SP's home ID are relayed
+// through the forwarding stub, a token trailing the stolen SP's HALT is
+// dropped, a token for a genuinely unknown SP still fails the run, and the
+// sent/recv counters balance at quiescence (termination soundness).
+func TestStealProtocolGrantForwardLateToken(t *testing.T) {
+	prog := taskProgram()
+	eps := newChanTransport(2, 0)
+	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
+	w0 := newWorker(0, 2, geo, prog, eps[0], true)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true)
+	driver := eps[2]
+	// drainOnly delivers pending messages without running ready SPs, so
+	// the test controls exactly when instances start executing.
+	drainOnly := func(w *worker, ep Endpoint) {
+		for {
+			m, ok := ep.TryRecv()
+			if !ok {
+				return
+			}
+			w.handle(m)
+		}
+	}
+	pump := func() {
+		for pumpWorker(w0, eps[0]) || pumpWorker(w1, eps[1]) {
+		}
+	}
+
+	// Two task SPs spawned on PE 0, delivered but not yet run: both sit
+	// in the ready queue at pc 0.
+	for i := 0; i < 2; i++ {
+		if err := driver.Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
+			Args: []isa.Value{isa.SPRef(0), isa.Float(float64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOnly(w0, eps[0])
+	id1, id2 := packID(0, 1), packID(0, 2)
+	if len(w0.insts) != 2 {
+		t.Fatalf("PE 0 has %d live SPs, want 2", len(w0.insts))
+	}
+
+	// PE 1 is idle: its first steal attempt targets PE 0 and must be
+	// granted the oldest instance.
+	w1.maybeSteal()
+	drainOnly(w0, eps[0])
+	drainOnly(w1, eps[1])
+	if w1.steals != 1 || w1.insts[id1] == nil {
+		t.Fatalf("steals=%d insts[id1]=%v, want the first SP stolen to PE 1", w1.steals, w1.insts[id1])
+	}
+	if to, ok := w0.forwards[id1]; !ok || to != 1 {
+		t.Fatalf("victim forwarding stub = (%d, %v), want (1, true)", to, ok)
+	}
+	if w0.insts[id1] != nil {
+		t.Fatal("victim still owns the stolen SP")
+	}
+
+	// A token addressed to the stolen SP's home ID arrives at the victim:
+	// it must be relayed to the thief, wake the SP there, and produce the
+	// result at the driver.
+	if err := driver.Send(0, &Msg{Kind: KToken, SP: id1, Slot: 2, Val: isa.Float(2.5)}); err != nil {
+		t.Fatal(err)
+	}
+	pump()
+	if w0.forwarded != 1 {
+		t.Fatalf("victim forwarded %d tokens, want 1", w0.forwarded)
+	}
+	m, ok := driver.TryRecv()
+	if !ok || m.Kind != KToken || m.Val.F != 2.5 {
+		t.Fatalf("driver got %+v, want the stolen SP's result token 0+2.5", m)
+	}
+	if w1.insts[id1] != nil {
+		t.Fatal("stolen SP still live after HALT")
+	}
+
+	// A second token trailing the stolen SP's HALT takes the same stub
+	// path and must be dropped by the thief, not fail the run.
+	if err := driver.Send(0, &Msg{Kind: KToken, SP: id1, Slot: 2, Val: isa.Float(9)}); err != nil {
+		t.Fatal(err)
+	}
+	pump()
+	if w1.lateTokens != 1 || w1.failed || w0.failed {
+		t.Fatalf("late token: lateTokens=%d failed=%v/%v, want 1 drop and no failure",
+			w1.lateTokens, w0.failed, w1.failed)
+	}
+
+	// Unblock the remaining home SP so the cluster quiesces, then check
+	// the four-counter invariant: every counted send was received.
+	if err := driver.Send(0, &Msg{Kind: KToken, SP: id2, Slot: 2, Val: isa.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	pump()
+	if _, ok := driver.TryRecv(); !ok {
+		t.Fatal("home SP produced no result")
+	}
+	if w0.sent+w1.sent != w0.recv+w1.recv {
+		t.Fatalf("counters unbalanced at quiescence: sent %d+%d, recv %d+%d",
+			w0.sent, w1.sent, w0.recv, w1.recv)
+	}
+
+	// A token for an ID no worker has ever seen is still a hard failure.
+	if err := driver.Send(1, &Msg{Kind: KToken, SP: packID(1, 99), Slot: 2, Val: isa.Float(0)}); err != nil {
+		t.Fatal(err)
+	}
+	pump()
+	if !w1.failed {
+		t.Fatal("token for unknown SP did not fail the worker")
+	}
+}
+
+// TestStealBackClearsStaleStub is the regression test for the stub-cycle
+// bug: when a worker re-acquires an SP it had granted away, its own stale
+// forwarding stub must be cleared at install time — otherwise, once the SP
+// halts, a late token would relay home→thief→home forever (each hop counts
+// in sent/recv, so the run would also never terminate).
+func TestStealBackClearsStaleStub(t *testing.T) {
+	prog := taskProgram()
+	eps := newChanTransport(2, 0)
+	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
+	w0 := newWorker(0, 2, geo, prog, eps[0], true)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true)
+	driver := eps[2]
+	drainOnly := func(w *worker, ep Endpoint) {
+		for {
+			m, ok := ep.TryRecv()
+			if !ok {
+				return
+			}
+			w.handle(m)
+		}
+	}
+
+	// PE 0 holds two unstarted SPs; PE 1 steals the oldest (id1).
+	for i := 0; i < 2; i++ {
+		if err := driver.Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
+			Args: []isa.Value{isa.SPRef(0), isa.Float(0)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOnly(w0, eps[0])
+	id1 := packID(0, 1)
+	w1.maybeSteal()
+	drainOnly(w0, eps[0])
+	drainOnly(w1, eps[1])
+	if w1.insts[id1] == nil {
+		t.Fatal("first steal did not move id1 to PE 1")
+	}
+
+	// Load PE 1 with a second unstarted SP, then let PE 0 steal id1 back.
+	if err := driver.Send(1, &Msg{Kind: KSpawn, Tmpl: 0,
+		Args: []isa.Value{isa.SPRef(0), isa.Float(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	drainOnly(w1, eps[1])
+	w0.maybeSteal()
+	drainOnly(w1, eps[1])
+	drainOnly(w0, eps[0])
+	if w0.insts[id1] == nil {
+		t.Fatal("steal-back did not return id1 to PE 0")
+	}
+	if _, stale := w0.forwards[id1]; stale {
+		t.Fatal("steal-back left PE 0's stale forwarding stub in place (token relay cycle)")
+	}
+	if to, ok := w1.forwards[id1]; !ok || to != 0 {
+		t.Fatalf("PE 1 stub = (%d, %v), want (0, true)", to, ok)
+	}
+
+	// Run everything down, then push a late token through PE 1's stub: it
+	// must come home and be dropped, not orbit.
+	pump := func() {
+		for pumpWorker(w0, eps[0]) || pumpWorker(w1, eps[1]) {
+		}
+	}
+	for _, id := range []int64{id1, packID(0, 2), packID(1, 1)} {
+		if err := driver.Send(peOf(id), &Msg{Kind: KToken, SP: id, Slot: 2, Val: isa.Float(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pump()
+	if err := driver.Send(1, &Msg{Kind: KToken, SP: id1, Slot: 2, Val: isa.Float(9)}); err != nil {
+		t.Fatal(err)
+	}
+	pump()
+	if w0.lateTokens != 1 || w0.failed || w1.failed {
+		t.Fatalf("late token through stub chain: lateTokens=%d failed=%v/%v, want 1/false/false",
+			w0.lateTokens, w0.failed, w1.failed)
+	}
+}
+
+// TestStealDeclinedWhenUnloaded pins the victim policy: a victim with one
+// (or zero) queued SPs answers KStealNone and the thief's backoff grows.
+func TestStealDeclinedWhenUnloaded(t *testing.T) {
+	prog := taskProgram()
+	eps := newChanTransport(2, 0)
+	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
+	w0 := newWorker(0, 2, geo, prog, eps[0], true)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true)
+	driver := eps[2]
+	pump := func() {
+		for pumpWorker(w0, eps[0]) || pumpWorker(w1, eps[1]) {
+		}
+	}
+
+	// One blocked SP on PE 0: stealing it would leave the victim empty.
+	if err := driver.Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
+		Args: []isa.Value{isa.SPRef(0), isa.Float(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	pump()
+	w1.maybeSteal()
+	pump()
+	if w1.steals != 0 || w1.stealFails != 1 || w1.stealWait != 1 {
+		t.Fatalf("after decline: steals=%d fails=%d wait=%d, want 0/1/1",
+			w1.steals, w1.stealFails, w1.stealWait)
+	}
+	// The next idle wake-up only pays down the backoff; no request goes
+	// out until it reaches zero.
+	w1.maybeSteal()
+	pump()
+	if w1.stealFails != 1 || w1.stealWait != 0 || w1.steals != 0 {
+		t.Fatalf("backoff wake-up: fails=%d wait=%d steals=%d, want 1/0/0",
+			w1.stealFails, w1.stealWait, w1.steals)
+	}
+	// Repeated declines reach dormancy (2 sweeps of the single peer);
+	// after that, no further requests are sent.
+	for i := 0; i < 16; i++ {
+		w1.maybeSteal()
+		pump()
+	}
+	if w1.stealFails < w1.stealDormantAfter() {
+		t.Fatalf("fails=%d, want dormancy at %d", w1.stealFails, w1.stealDormantAfter())
+	}
+	w1.maybeSteal()
+	if w1.stealOutstanding {
+		t.Fatal("dormant worker still sent a steal request")
+	}
+
+	// Dormancy is not forever: after stealReviveProbes probe rounds the
+	// backoff resets, so skew that arrives late in the run still gets
+	// stolen eventually.
+	for i := 0; i < stealReviveProbes; i++ {
+		w1.handle(&Msg{Kind: KProbe, Round: int32(i + 1), From: int32(w1.driverID())})
+	}
+	if w1.stealFails != 0 {
+		t.Fatalf("fails=%d after %d probe rounds, want dormancy revived", w1.stealFails, stealReviveProbes)
+	}
+	w1.maybeSteal()
+	if !w1.stealOutstanding {
+		t.Fatal("revived worker sent no steal request")
+	}
+	pump()
+}
+
+// stepOneRound gives every worker one drain plus at most one step — a
+// deterministic stand-in for N PEs progressing in parallel.
+func stepOneRound(ws []*worker, eps []Endpoint) bool {
+	progress := false
+	for i, w := range ws {
+		for {
+			m, ok := eps[i].TryRecv()
+			if !ok {
+				break
+			}
+			w.handle(m)
+			progress = true
+		}
+		if w.readyHead != len(w.ready) {
+			w.step()
+			progress = true
+		} else {
+			before := w.stealOutstanding
+			w.maybeSteal()
+			progress = progress || (w.stealOutstanding && !before)
+		}
+	}
+	return progress
+}
+
+// TestStealDeterminacyPumpedTriangular runs the triangular kernel on four
+// hand-pumped workers — a deterministic, adversarially fair schedule with
+// stealing enabled — and asserts both that steals actually happen and that
+// the gathered array is bit-for-bit the simulator's (Church-Rosser under
+// migration).
+func TestStealDeterminacyPumpedTriangular(t *testing.T) {
+	k, _ := kernels.ByName("triangular")
+	prog := compile(t, k.File(), k.Source)
+	const n, pes = 24, 4
+	wantVals, wantMasks := simArraysMasked(t, prog, pes, k.Arrays, k.Args(n)...)
+
+	geo := rtcfg.Geometry{PEs: pes, PageElems: 8, DistThreshold: 16}
+	if err := geo.Fill(pes); err != nil {
+		t.Fatal(err)
+	}
+	eps := newChanTransport(pes, 0)
+	ws := make([]*worker, pes)
+	for pe := range ws {
+		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], true)
+	}
+	driver := eps[pes]
+
+	// Mini-driver: collect alloc headers and dumps, fail on KFail.
+	arrays := make(map[int64]*gathered)
+	drainDriver := func() {
+		for {
+			m, ok := driver.TryRecv()
+			if !ok {
+				return
+			}
+			switch m.Kind {
+			case KAlloc:
+				dims := make([]int, len(m.Dims))
+				for i, d := range m.Dims {
+					dims[i] = int(d)
+				}
+				h, err := istructure.NewHeader(m.Arr, m.Name, dims, geo.PageElems, pes, int(m.Origin), m.Dist)
+				if err != nil {
+					t.Fatal(err)
+				}
+				arrays[m.Arr] = &gathered{h: h, vals: make([]float64, h.Elems()), mask: make([]bool, h.Elems())}
+			case KFail:
+				t.Fatalf("worker failed: %s", m.Name)
+			case KDump:
+				if err := arrays[m.Arr].merge(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	if err := driver.Send(0, &Msg{Kind: KSpawn, Tmpl: int32(prog.EntryID), Args: k.Args(n)}); err != nil {
+		t.Fatal(err)
+	}
+	for rounds := 0; ; rounds++ {
+		if rounds > 50_000_000 {
+			t.Fatal("pumped run did not quiesce")
+		}
+		progress := stepOneRound(ws, eps)
+		drainDriver()
+		if !progress {
+			break
+		}
+	}
+	var steals, live int64
+	for _, w := range ws {
+		steals += w.steals
+		live += int64(len(w.insts))
+	}
+	if live != 0 {
+		t.Fatalf("%d live SPs at quiescence (deadlock)", live)
+	}
+	if steals == 0 {
+		t.Fatal("no steals under a skewed triangular load with idle PEs")
+	}
+	t.Logf("triangular pumped @%dPE: %d steals", pes, steals)
+
+	// Gather and compare against the simulator.
+	for id, g := range arrays {
+		for pe := 0; pe < pes; pe++ {
+			lo, hi := g.h.SegmentElems(pe)
+			if lo >= hi {
+				continue
+			}
+			if err := driver.Send(pe, &Msg{Kind: KDumpReq, Arr: id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for stepOneRound(ws, eps) {
+		drainDriver()
+	}
+	drainDriver()
+	for name, ref := range wantVals {
+		var g *gathered
+		for _, cand := range arrays {
+			if cand.h.Name == name {
+				g = cand
+			}
+		}
+		if g == nil {
+			t.Fatalf("array %q never allocated", name)
+		}
+		if len(g.vals) != len(ref) {
+			t.Fatalf("%s: %d elements, want %d", name, len(g.vals), len(ref))
+		}
+		for i := range ref {
+			if g.mask[i] != wantMasks[name][i] {
+				t.Fatalf("%s[%d]: written=%v, want %v", name, i, g.mask[i], wantMasks[name][i])
+			}
+			if g.mask[i] && g.vals[i] != ref[i] {
+				t.Fatalf("%s[%d] = %v, want %v (stealing broke determinacy)", name, i, g.vals[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestStealKeepsKernelsDeterminate is the end-to-end steal-on agreement
+// matrix: every kernel, every PE count, cluster runtime with stealing
+// enabled, compared bit-for-bit against the simulator.
+func TestStealKeepsKernelsDeterminate(t *testing.T) {
+	const n = 8
+	for _, k := range kernels.All() {
+		t.Run(k.Name, func(t *testing.T) {
+			prog := compile(t, k.File(), k.Source)
+			wantVals, wantMasks := simArraysMasked(t, prog, 4, k.Arrays, k.Args(n)...)
+			for _, pes := range []int{1, 2, 4, 8} {
+				res, err := Execute(testCtx(t), prog, Config{NumPEs: pes, PageElems: 8, Steal: true}, k.Args(n)...)
+				if err != nil {
+					t.Fatalf("%d PEs: %v", pes, err)
+				}
+				checkAgainstSimMasked(t, res, wantVals, wantMasks)
+			}
+		})
+	}
+}
+
+// TestClusterDeterminacyDefaultKnob runs the kernel agreement matrix with
+// Config.Steal left untouched — the one Steal|Determinacy test that
+// actually consults the PODS_FORCE_STEAL override in Config.fill. In the
+// ordinary CI leg this covers the static scheduler; in the forced-steal
+// leg the identical matrix runs with migration on.
+func TestClusterDeterminacyDefaultKnob(t *testing.T) {
+	const n = 8
+	for _, k := range kernels.All() {
+		t.Run(k.Name, func(t *testing.T) {
+			prog := compile(t, k.File(), k.Source)
+			wantVals, wantMasks := simArraysMasked(t, prog, 4, k.Arrays, k.Args(n)...)
+			for _, pes := range []int{1, 2, 4, 8} {
+				res, err := Execute(testCtx(t), prog, Config{NumPEs: pes, PageElems: 8}, k.Args(n)...)
+				if err != nil {
+					t.Fatalf("%d PEs: %v", pes, err)
+				}
+				checkAgainstSimMasked(t, res, wantVals, wantMasks)
+			}
+		})
+	}
+}
+
+// TestStealTriangularEndToEnd runs the skewed kernel on the real goroutine
+// cluster with stealing on, checks agreement, and reports the realized
+// rebalance. Steal counts depend on host scheduling, so only the
+// load-movement direction is asserted, never an exact figure.
+func TestStealTriangularEndToEnd(t *testing.T) {
+	// This test runs its own steal-off control arm, so neutralize the CI
+	// leg's blanket PODS_FORCE_STEAL override.
+	t.Setenv("PODS_FORCE_STEAL", "")
+	k, _ := kernels.ByName("triangular")
+	prog := compile(t, k.File(), k.Source)
+	const n = 48
+	wantVals, wantMasks := simArraysMasked(t, prog, 4, k.Arrays, k.Args(n)...)
+
+	off, err := Execute(testCtx(t), prog, Config{NumPEs: 4}, k.Args(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Execute(testCtx(t), prog, Config{NumPEs: 4, Steal: true}, k.Args(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSimMasked(t, on, wantVals, wantMasks)
+	if off.Stats.Steals != 0 {
+		t.Fatalf("steal-off run reports %d steals", off.Stats.Steals)
+	}
+	t.Logf("triangular@4PE: steal-off perPE=%v, steal-on perPE=%v (%d steals)",
+		off.PEInstrs, on.PEInstrs, on.Stats.Steals)
+	// Host scheduling decides how many steals land, so the makespan
+	// usually improves but is not guaranteed to on every run; only a
+	// catastrophic regression (a PE hoarding far beyond the static
+	// maximum share) is a hard failure.
+	if lim := maxOf(off.PEInstrs) + maxOf(off.PEInstrs)/4; maxOf(on.PEInstrs) > lim {
+		t.Errorf("stealing ballooned the makespan: max per-PE instrs %d > %d",
+			maxOf(on.PEInstrs), lim)
+	}
+}
+
+func maxOf(vs []int64) int64 {
+	var m int64
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TestDetectorIgnoresDuplicateAcks is the regression test for the probe
+// accounting bug: a duplicated or replayed ack from one PE must not
+// complete a round in place of a PE that never answered, and acks from
+// stale rounds must be ignored.
+func TestDetectorIgnoresDuplicateAcks(t *testing.T) {
+	d := newDetector(2)
+	d.begin(1)
+	ack := func(pe int, round int32, sent int64) bool {
+		return d.record(pe, &Msg{Kind: KAck, Round: round, Sent: sent, Recv: sent})
+	}
+	if ack(0, 1, 10) {
+		t.Fatal("round complete after a single PE answered")
+	}
+	if ack(0, 1, 10) {
+		t.Fatal("duplicate ack from PE 0 completed the round")
+	}
+	if ack(0, 1, 11) {
+		t.Fatal("replayed ack with different counters completed the round")
+	}
+	if ack(1, 0, 5) {
+		t.Fatal("stale-round ack completed the round")
+	}
+	if !ack(1, 1, 10) {
+		t.Fatal("round not complete after both PEs answered")
+	}
+
+	// Out-of-range PE indexes are ignored too.
+	d.begin(2)
+	if ack(-1, 2, 0) || ack(2, 2, 0) {
+		t.Fatal("out-of-range PE completed the round")
+	}
+
+	// An ack from a round the detector has moved past stays ignored.
+	if ack(0, 1, 10) {
+		t.Fatal("ack from a finished round completed the new round")
+	}
+}
+
+// TestDumpBoundsChecked is the regression test for the driver-side KDump
+// handler: a malformed frame whose segment does not fit the assembled
+// array must produce an error, not a panic.
+func TestDumpBoundsChecked(t *testing.T) {
+	h, err := istructure.NewHeader(7, "A", []int{2, 4}, 8, 2, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gathered{h: h, vals: make([]float64, 8), mask: make([]bool, 8)}
+
+	good := &Msg{Kind: KDump, Arr: 7, Off: 4,
+		Vals: []isa.Value{isa.Float(1), isa.Float(2)}, Set: []bool{true, true}}
+	if err := g.merge(roundTrip(t, good)); err != nil {
+		t.Fatalf("in-bounds dump rejected: %v", err)
+	}
+	bad := []*Msg{
+		{Kind: KDump, Arr: 7, Off: 7, Vals: []isa.Value{isa.Float(1), isa.Float(2)}, Set: []bool{true, true}},
+		{Kind: KDump, Arr: 7, Off: -1, Vals: []isa.Value{isa.Float(1)}, Set: []bool{true}},
+		{Kind: KDump, Arr: 7, Off: 0, Vals: make([]isa.Value, 9), Set: make([]bool, 9)},
+		{Kind: KDump, Arr: 7, Off: 0, Vals: []isa.Value{isa.Float(1)}, Set: []bool{true, true}},
+	}
+	for i, m := range bad {
+		if err := g.merge(roundTrip(t, m)); err == nil {
+			t.Errorf("malformed dump %d accepted (vals=%d set=%d off=%d)", i, len(m.Vals), len(m.Set), m.Off)
+		}
+	}
+}
+
+// roundTrip pushes a message through the wire codec so the regression test
+// exercises the same path a corrupt TCP frame would take.
+func roundTrip(t *testing.T, m *Msg) *Msg {
+	t.Helper()
+	out, err := decodeMsg(encodeMsg(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestLatencyMailboxOrdering pins the latency-injection mechanics at the
+// mailbox level: an undue message is invisible to TryRecv, Recv waits it
+// out, and per-pair FIFO survives the delay.
+func TestLatencyMailboxOrdering(t *testing.T) {
+	b := newDelayMailbox(20 * time.Millisecond)
+	b.put(&Msg{Kind: KProbe, Round: 1})
+	b.put(&Msg{Kind: KProbe, Round: 2})
+	if _, ok, wait, _ := b.pop(); ok || wait <= 0 {
+		t.Fatalf("undue message already receivable (ok=%v wait=%v)", ok, wait)
+	}
+	start := time.Now()
+	for round := int32(1); round <= 2; round++ {
+		m, err := b.recv(testCtx(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Round != round {
+			t.Fatalf("got round %d, want %d (FIFO violated)", m.Round, round)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("messages delivered after %v, want ≥ the injected 20ms", elapsed)
+	}
+}
+
+// TestLatencyInjectedRuns exercises the steal path (triangular, stealing
+// on) and the deferred-remote-read path (mirror) under 0/1/5ms injected
+// per-hop latency, asserting bit-for-bit agreement with the simulator at
+// every latency.
+func TestLatencyInjectedRuns(t *testing.T) {
+	const n = 6
+	for _, kn := range []string{"triangular", "mirror"} {
+		k, _ := kernels.ByName(kn)
+		prog := compile(t, k.File(), k.Source)
+		wantVals, wantMasks := simArraysMasked(t, prog, 2, k.Arrays, k.Args(n)...)
+		for _, lat := range []time.Duration{0, time.Millisecond, 5 * time.Millisecond} {
+			res, err := Execute(testCtx(t), prog,
+				Config{NumPEs: 2, PageElems: 8, Steal: kn == "triangular", Latency: lat}, k.Args(n)...)
+			if err != nil {
+				t.Fatalf("%s@%v: %v", kn, lat, err)
+			}
+			checkAgainstSimMasked(t, res, wantVals, wantMasks)
+		}
+	}
+}

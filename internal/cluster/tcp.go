@@ -95,7 +95,7 @@ func (d *tcpDriver) Send(to int, m *Msg) error {
 func (d *tcpDriver) Recv(ctx context.Context) (*Msg, error) { return d.box.recv(ctx) }
 
 func (d *tcpDriver) TryRecv() (*Msg, bool) {
-	m, ok, _ := d.box.pop()
+	m, ok, _, _ := d.box.pop()
 	return m, ok
 }
 
@@ -131,6 +131,7 @@ func dialWorkers(ctx context.Context, cfg Config, prog *isa.Program) (Endpoint, 
 			NumPEs:        int32(n),
 			PageElems:     int32(cfg.PageElems),
 			DistThreshold: int32(cfg.DistThreshold),
+			Steal:         cfg.Steal,
 			Peers:         cfg.Workers,
 			Prog:          progBytes,
 		}
@@ -191,7 +192,7 @@ func (t *tcpWorker) Send(to int, m *Msg) error {
 func (t *tcpWorker) Recv(ctx context.Context) (*Msg, error) { return t.box.recv(ctx) }
 
 func (t *tcpWorker) TryRecv() (*Msg, bool) {
-	m, ok, _ := t.box.pop()
+	m, ok, _, _ := t.box.pop()
 	return m, ok
 }
 
@@ -285,7 +286,7 @@ func ServeWorker(ctx context.Context, ln net.Listener) error {
 		PageElems:     int(init.PageElems),
 		DistThreshold: int(init.DistThreshold),
 	}
-	w := newWorker(int(init.PE), t.n, geo, prog, t)
+	w := newWorker(int(init.PE), t.n, geo, prog, t, init.Steal)
 	for _, m := range stash {
 		w.handle(m)
 	}

@@ -55,6 +55,27 @@ func TestTCPMatmulAgreesWithSim(t *testing.T) {
 	}
 }
 
+// TestTCPStealTriangular checks that the Steal knob travels through KInit
+// to TCP workers and that migration over real sockets stays determinate.
+// (Whether any steal lands depends on host scheduling; the knob plumbing
+// and the steal-on schedule's agreement are what this pins down.)
+func TestTCPStealTriangular(t *testing.T) {
+	k, _ := kernels.ByName("triangular")
+	prog := compile(t, k.File(), k.Source)
+	const n = 24
+	wantVals, wantMasks := simArraysMasked(t, prog, 4, k.Arrays, k.Args(n)...)
+
+	ctx := testCtx(t)
+	addrs, join := startTCPWorkers(t, ctx, 4)
+	res, err := Execute(ctx, prog, Config{Workers: addrs, Steal: true}, k.Args(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join()
+	checkAgainstSimMasked(t, res, wantVals, wantMasks)
+	t.Logf("tcp triangular@4PE: steals=%d forwards=%d", res.Stats.Steals, res.Stats.Forwards)
+}
+
 // TestTCPReturnsValue checks the result-token path over TCP.
 func TestTCPReturnsValue(t *testing.T) {
 	prog := compile(t, "ret.id", `

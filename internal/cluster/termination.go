@@ -21,14 +21,24 @@ type ackState struct {
 	deferred   int64
 	hits       int64
 	misses     int64
+	steals     int64
+	forwards   int64
+	instrs     int64
 }
 
 // detector accumulates probe rounds and decides termination.
 type detector struct {
 	acks []ackState // per worker, latest ack
 
-	// got counts acks received for the current round.
-	got int
+	// round is the probe round currently being collected; seen marks the
+	// PEs that have answered it and got counts them. Tracking both is
+	// what makes a duplicated or replayed ack harmless: an ack for any
+	// other round is ignored, and a PE counts at most once per round — a
+	// duplicate can therefore never complete a round in place of a PE
+	// that never answered.
+	round int32
+	seen  []bool
+	got   int
 
 	// prev holds the previous complete round's sums; prevOK marks it as a
 	// candidate (all live == 0, sent == recv).
@@ -37,27 +47,38 @@ type detector struct {
 }
 
 func newDetector(n int) *detector {
-	return &detector{acks: make([]ackState, n)}
+	return &detector{acks: make([]ackState, n), seen: make([]bool, n)}
 }
 
-// record stores one ack for the given round; acks from stale rounds are
-// ignored. It returns true when the round is complete.
+// begin starts collecting a new probe round.
+func (d *detector) begin(round int32) {
+	d.round = round
+	d.got = 0
+	for i := range d.seen {
+		d.seen[i] = false
+	}
+}
+
+// record stores one ack; acks from any round other than the current one,
+// and repeated acks from the same PE within a round, are ignored. It
+// returns true when the round is complete (every PE answered once).
 func (d *detector) record(pe int, m *Msg) bool {
-	if pe < 0 || pe >= len(d.acks) {
+	if pe < 0 || pe >= len(d.acks) || m.Round != d.round || d.seen[pe] {
 		return false
 	}
+	d.seen[pe] = true
 	d.acks[pe] = ackState{
 		round: m.Round, sent: m.Sent, recv: m.Recv, live: m.Live,
 		deferred: m.Deferred, hits: m.Hits, misses: m.Misses,
+		steals: m.Steals, forwards: m.Forwards, instrs: m.Instrs,
 	}
 	d.got++
 	return d.got == len(d.acks)
 }
 
-// roundDone evaluates a completed round and resets for the next one. It
-// returns true when termination is detected.
+// roundDone evaluates a completed round. It returns true when termination
+// is detected.
 func (d *detector) roundDone() bool {
-	d.got = 0
 	var sent, recv int64
 	allIdle := true
 	for _, a := range d.acks {
@@ -90,6 +111,18 @@ func (d *detector) stats() Stats {
 		s.CacheHits += a.hits
 		s.CacheMisses += a.misses
 		s.MsgsSent += a.sent
+		s.Steals += a.steals
+		s.Forwards += a.forwards
 	}
 	return s
+}
+
+// perPEInstrs reports each worker's executed-instruction count from the
+// latest acks (the SKEW experiment's load-balance metric).
+func (d *detector) perPEInstrs() []int64 {
+	out := make([]int64, len(d.acks))
+	for i, a := range d.acks {
+		out[i] = a.instrs
+	}
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned by Endpoint.Recv after Close.
@@ -40,25 +41,49 @@ type Endpoint interface {
 // cyclic token traffic (A blocked sending to B while B is blocked sending to
 // A). Real message-passing machines solve this with flow control; we solve
 // it with memory.
+//
+// A mailbox can also inject transport latency: with delay > 0 every message
+// is stamped with a due time on put and only becomes receivable once it has
+// "been on the wire" that long. Because the delay is one constant, due times
+// are monotone in queue order, so delivery order — and with it the per-pair
+// FIFO contract — is exactly what it would be with zero latency.
 type mailbox struct {
 	mu     sync.Mutex
-	q      []*Msg
+	q      []mboxEntry
 	head   int
 	notify chan struct{} // capacity 1: a "queue became non-empty" latch
 	closed bool
+	delay  time.Duration // injected per-hop latency (0 = immediate)
+}
+
+// mboxEntry is one queued message plus its delivery due time (zero when the
+// mailbox has no injected latency).
+type mboxEntry struct {
+	m   *Msg
+	due time.Time
 }
 
 func newMailbox() *mailbox {
 	return &mailbox{notify: make(chan struct{}, 1)}
 }
 
+func newDelayMailbox(delay time.Duration) *mailbox {
+	b := newMailbox()
+	b.delay = delay
+	return b
+}
+
 func (b *mailbox) put(m *Msg) {
+	e := mboxEntry{m: m}
+	if b.delay > 0 {
+		e.due = time.Now().Add(b.delay)
+	}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		return
 	}
-	b.q = append(b.q, m)
+	b.q = append(b.q, e)
 	b.mu.Unlock()
 	select {
 	case b.notify <- struct{}{}:
@@ -66,29 +91,51 @@ func (b *mailbox) put(m *Msg) {
 	}
 }
 
-// pop returns (msg, ok, closed).
-func (b *mailbox) pop() (*Msg, bool, bool) {
+// pop returns the next due message. wait is non-zero when the head message
+// exists but its injected latency has not elapsed yet.
+func (b *mailbox) pop() (m *Msg, ok bool, wait time.Duration, closed bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.head < len(b.q) {
-		m := b.q[b.head]
-		b.q[b.head] = nil
+		e := b.q[b.head]
+		if !e.due.IsZero() {
+			if w := time.Until(e.due); w > 0 {
+				return nil, false, w, b.closed
+			}
+		}
+		b.q[b.head] = mboxEntry{}
 		b.head++
 		if b.head == len(b.q) {
 			b.q = b.q[:0]
 			b.head = 0
 		}
-		return m, true, b.closed
+		return e.m, true, 0, b.closed
 	}
-	return nil, false, b.closed
+	return nil, false, 0, b.closed
 }
 
 func (b *mailbox) recv(ctx context.Context) (*Msg, error) {
 	for {
-		if m, ok, closed := b.pop(); ok {
+		m, ok, wait, closed := b.pop()
+		if ok {
 			return m, nil
-		} else if closed {
+		}
+		if closed && wait == 0 {
+			// Truly empty and closed; in-flight (undue) messages still
+			// drain before ErrClosed.
 			return nil, ErrClosed
+		}
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-b.notify:
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			t.Stop()
+			continue
 		}
 		select {
 		case <-b.notify:
@@ -121,12 +168,14 @@ type chanEndpoint struct {
 	self int
 }
 
-// newChanTransport builds endpoints for n workers plus the driver (index n).
-func newChanTransport(n int) []Endpoint {
+// newChanTransport builds endpoints for n workers plus the driver (index
+// n). latency, when non-zero, is injected on every hop: a sent message only
+// becomes receivable after that delay.
+func newChanTransport(n int, latency time.Duration) []Endpoint {
 	t := &chanTransport{boxes: make([]*mailbox, n+1)}
 	eps := make([]Endpoint, n+1)
 	for i := range t.boxes {
-		t.boxes[i] = newMailbox()
+		t.boxes[i] = newDelayMailbox(latency)
 		eps[i] = &chanEndpoint{net: t, self: i}
 	}
 	return eps
@@ -146,7 +195,7 @@ func (e *chanEndpoint) Recv(ctx context.Context) (*Msg, error) {
 }
 
 func (e *chanEndpoint) TryRecv() (*Msg, bool) {
-	m, ok, _ := e.net.boxes[e.self].pop()
+	m, ok, _, _ := e.net.boxes[e.self].pop()
 	return m, ok
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/isa"
 	"repro/internal/istructure"
@@ -12,9 +13,12 @@ import (
 
 // spInst is one live SP instance on a worker: template, operand frame with
 // presence bits, program counter, and the slot it is blocked on (isa.None
-// while runnable). An instance belongs to exactly one worker for life —
-// there is no migration, matching the paper's model where an SP executes on
-// the PE it was spawned on.
+// while runnable). An instance normally belongs to the worker it was
+// spawned on for life, matching the paper's model where an SP executes on
+// the PE it was spawned on — with one exception: a not-yet-started
+// instance (pc == 0) may be stolen by an idle peer, in which case the home
+// worker keeps a forwarding stub so tokens addressed to the home ID still
+// reach it.
 type spInst struct {
 	id      int64
 	tmpl    *isa.Template
@@ -22,6 +26,12 @@ type spInst struct {
 	present []bool
 	pc      int
 	blocked int
+
+	// stolen marks an instance installed here by a steal grant. Only such
+	// instances can legally see tokens arrive after their HALT (the extra
+	// relay hop through the home PE's forwarding stub is what lets a
+	// token trail completion), so only they enter the halted set.
+	stolen bool
 }
 
 // worker is one PE: its own I-structure shard, its own SP instances and run
@@ -37,9 +47,15 @@ type worker struct {
 	shard *istructure.Shard
 	insts map[int64]*spInst
 
-	// ready is a head-indexed FIFO run queue (same amortized-O(1) pop as
-	// mailbox; a plain front shift would make scheduling quadratic in the
-	// queue length).
+	// ready is a double-ended run queue in classic work-stealing
+	// arrangement: the worker itself pushes and pops at the top (LIFO,
+	// depth-first — it digs into the most recently spawned SP and its
+	// children), while steal requests are served from the bottom, where
+	// the oldest not-yet-started SPs sit. Depth-first local execution is
+	// what keeps the bottom stealable: a breadth-first worker touches
+	// every queued SP once during ramp-up, leaving only in-flight
+	// instances that cannot migrate. readyHead tracks the bottom
+	// (amortized-O(1) steal removal, same trick as mailbox).
 	ready     []*spInst
 	readyHead int
 
@@ -57,21 +73,55 @@ type worker struct {
 	// detection (driver traffic is control-plane and excluded).
 	sent, recv int64
 
+	// instrs counts executed instructions (the per-PE load metric the
+	// SKEW experiment reports).
+	instrs int64
+
+	// Work stealing (enabled by Config.Steal). forwards maps the home ID
+	// of a stolen SP to the endpoint it was granted to: any token that
+	// arrives for the home ID is relayed there, and the relay itself
+	// counts in sent/recv so four-counter termination stays sound. halted
+	// records stolen-in SPs that ran here to completion — the forwarding
+	// relay is the one path that can legally deliver a token after its
+	// target's last consumed slot, so late tokens for those IDs are
+	// dropped instead of failing the run. A home-spawned SP that never
+	// migrated keeps the old invariant: a token after its HALT is a
+	// protocol bug and fails loudly. Both maps are bounded by the number
+	// of migrations, not total SPs.
+	steal            bool
+	forwards         map[int64]int
+	halted           map[int64]struct{}
+	stealVictim      int   // round-robin cursor over peers
+	stealFails       int   // consecutive KStealNone answers since last work
+	stealWait        int   // idle wake-ups to skip before the next attempt
+	dormantProbes    int   // probe rounds observed while dormant
+	stealOutstanding bool  // one request in flight at a time
+	steals           int64 // SPs stolen and installed here
+	forwarded        int64 // tokens relayed through forwarding stubs
+	lateTokens       int64 // tokens dropped for halted SPs
+
+	// sliceSteps counts step() calls since the last cooperative yield.
+	sliceSteps int
+
 	failed  bool
 	stopped bool
 }
 
-func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint) *worker {
+func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, steal bool) *worker {
 	return &worker{
-		pe:        pe,
-		n:         n,
-		geo:       geo,
-		prog:      prog,
-		ep:        ep,
-		shard:     istructure.NewShard(pe),
-		insts:     make(map[int64]*spInst),
-		waitArray: make(map[int64][]*spInst),
-		pending:   make(map[int64][]*Msg),
+		pe:          pe,
+		n:           n,
+		geo:         geo,
+		prog:        prog,
+		ep:          ep,
+		steal:       steal && n > 1,
+		shard:       istructure.NewShard(pe),
+		insts:       make(map[int64]*spInst),
+		waitArray:   make(map[int64][]*spInst),
+		pending:     make(map[int64][]*Msg),
+		forwards:    make(map[int64]int),
+		halted:      make(map[int64]struct{}),
+		stealVictim: pe, // first attempt targets (pe+1) mod n
 	}
 }
 
@@ -98,8 +148,18 @@ func (w *worker) fail(err error) {
 	_ = w.ep.Send(w.driverID(), &Msg{Kind: KFail, Name: fmt.Sprintf("pe %d: %v", w.pe, err)})
 }
 
+// enqueue appends an SP to the ready queue. Arriving work also resets the
+// steal backoff: the worker is demonstrably not starving, so the next idle
+// spell starts probing victims from scratch.
+func (w *worker) enqueue(sp *spInst) {
+	w.ready = append(w.ready, sp)
+	w.stealFails = 0
+	w.stealWait = 0
+}
+
 // run is the worker main loop: drain the mailbox, then execute ready SPs;
-// block on the endpoint when there is nothing to do.
+// block on the endpoint when there is nothing to do — after first trying
+// to steal work from a peer if stealing is enabled.
 func (w *worker) run(ctx context.Context) {
 	for !w.stopped {
 		for {
@@ -113,6 +173,7 @@ func (w *worker) run(ctx context.Context) {
 			}
 		}
 		if w.failed || w.readyHead == len(w.ready) {
+			w.maybeSteal()
 			m, err := w.ep.Recv(ctx)
 			if err != nil {
 				return
@@ -121,7 +182,155 @@ func (w *worker) run(ctx context.Context) {
 			continue
 		}
 		w.step()
+		// Yield to the Go scheduler periodically. On a host with fewer
+		// cores than PEs a compute-bound worker would otherwise hold its
+		// core for a whole preemption quantum (~10ms), serializing the
+		// "parallel" PEs into long bursts and stretching a steal
+		// request/grant round trip to multiple quanta. A cooperative
+		// yield every few steps keeps the PEs finely interleaved — much
+		// closer to the paper's independent-processor model — for ~100ns
+		// every couple thousand instructions. With idle cores available
+		// the yield is a no-op.
+		w.sliceSteps++
+		if w.sliceSteps >= yieldEvery {
+			w.sliceSteps = 0
+			runtime.Gosched()
+		}
 	}
+}
+
+// yieldEvery is the number of step() calls between cooperative yields.
+const yieldEvery = 64
+
+// stealReviveProbes is the number of probe rounds a dormant worker waits
+// before retrying a full steal sweep.
+const stealReviveProbes = 8
+
+// stealDormantAfter returns the consecutive-failure count after which an
+// idle worker stops asking: two full sweeps of its peers. Termination
+// detection does not need the bound (request/none traffic is not counted
+// by the four counters), but an endgame where every idle worker polls
+// every busy worker each probe round is pure overhead; going dormant until
+// new work arrives caps it. Any newly enqueued work resets the counter.
+func (w *worker) stealDormantAfter() int { return 2 * (w.n - 1) }
+
+// maybeSteal sends one KStealReq when this worker is idle and allowed to:
+// stealing enabled, nothing in flight, backoff elapsed, not dormant. The
+// victim is chosen round-robin over the other PEs; each KStealNone grows
+// the wait linearly (idle wake-ups are paced by incoming traffic — in the
+// steady state, the driver's probe rounds).
+func (w *worker) maybeSteal() {
+	if !w.steal || w.failed || w.stopped || w.stealOutstanding {
+		return
+	}
+	if w.stealFails >= w.stealDormantAfter() {
+		return
+	}
+	if w.stealWait > 0 {
+		w.stealWait--
+		return
+	}
+	w.stealVictim = (w.stealVictim + 1) % w.n
+	if w.stealVictim == w.pe {
+		w.stealVictim = (w.stealVictim + 1) % w.n
+	}
+	w.stealOutstanding = true
+	w.send(w.stealVictim, &Msg{Kind: KStealReq})
+}
+
+// popStealable removes and returns the oldest not-yet-started SP from the
+// bottom of the ready deque, or nil when the queue has fewer than two
+// entries (a victim must stay loaded after granting) or only in-flight
+// SPs. The bottom holds the SPs the depth-first worker has not touched yet
+// — for a loop nest, whole outer iterations rather than inner fragments.
+//
+// Distributed (Range-Filtered) templates are pinned: their ROWLO/UNIFLO/…
+// instructions clamp the index range to the executing PE's area of
+// responsibility, so running one on a different PE would recompute that
+// PE's share — a double write, not a migration. Everything else is
+// location-independent: its inputs travel in the operand frame.
+func (w *worker) popStealable() *spInst {
+	if len(w.ready)-w.readyHead < 2 {
+		return nil
+	}
+	for i := w.readyHead; i < len(w.ready); i++ {
+		sp := w.ready[i]
+		if sp.pc != 0 || sp.tmpl.Distributed {
+			continue
+		}
+		if i == w.readyHead {
+			w.ready[i] = nil
+			w.readyHead++
+		} else {
+			copy(w.ready[i:], w.ready[i+1:])
+			w.ready[len(w.ready)-1] = nil
+			w.ready = w.ready[:len(w.ready)-1]
+		}
+		return sp
+	}
+	return nil
+}
+
+// handleStealReq answers a peer's steal request: grant one not-yet-started
+// SP (leaving a forwarding stub for its home ID) or decline.
+func (w *worker) handleStealReq(thief int) {
+	if thief < 0 || thief >= w.n || thief == w.pe {
+		w.fail(fmt.Errorf("steal request from invalid PE %d", thief))
+		return
+	}
+	sp := (*spInst)(nil)
+	if !w.failed {
+		sp = w.popStealable()
+	}
+	if sp == nil {
+		w.send(thief, &Msg{Kind: KStealNone})
+		return
+	}
+	delete(w.insts, sp.id)
+	w.forwards[sp.id] = thief
+	// The frame slices travel with the grant; the receiver owns them now.
+	w.send(thief, &Msg{
+		Kind: KStealGrant,
+		SP:   sp.id,
+		Tmpl: int32(sp.tmpl.ID),
+		Args: sp.frame,
+		Set:  sp.present,
+	})
+}
+
+// installStolen installs a granted SP under its home ID and runs it as if
+// it had been spawned here.
+func (w *worker) installStolen(m *Msg) {
+	w.stealOutstanding = false
+	tmpl := w.prog.Template(int(m.Tmpl))
+	if tmpl == nil {
+		w.fail(fmt.Errorf("steal grant with unknown template %d", m.Tmpl))
+		return
+	}
+	if len(m.Args) != tmpl.NSlots || len(m.Set) != tmpl.NSlots {
+		w.fail(fmt.Errorf("steal grant for %q with %d/%d slots, want %d",
+			tmpl.Name, len(m.Args), len(m.Set), tmpl.NSlots))
+		return
+	}
+	if w.insts[m.SP] != nil {
+		w.fail(fmt.Errorf("steal grant duplicates live SP %d", m.SP))
+		return
+	}
+	// Re-acquiring an SP this worker once granted away must clear its own
+	// stale stub, or the stub chain forms a relay cycle once the SP halts
+	// here (deliver prefers forwards over halted).
+	delete(w.forwards, m.SP)
+	sp := &spInst{
+		id:      m.SP,
+		tmpl:    tmpl,
+		frame:   m.Args,
+		present: m.Set,
+		blocked: isa.None,
+		stolen:  true,
+	}
+	w.insts[sp.id] = sp
+	w.steals++
+	w.enqueue(sp)
 }
 
 // handle dispatches one incoming message.
@@ -163,6 +372,20 @@ func (w *worker) handle(m *Msg) {
 		w.handleWrite(m)
 
 	case KProbe:
+		// A dormant worker revives after a few probe rounds: skew that
+		// arrives late (a victim whose queue grows only after the thieves
+		// gave up) would otherwise never be stolen for the rest of the
+		// run. The endgame cost is bounded — at most one fruitless sweep
+		// of the peers every stealReviveProbes rounds, none of it counted
+		// by the four-counter detector.
+		if w.stealFails >= w.stealDormantAfter() {
+			w.dormantProbes++
+			if w.dormantProbes >= stealReviveProbes {
+				w.dormantProbes = 0
+				w.stealFails = 0
+				w.stealWait = 0
+			}
+		}
 		w.send(w.driverID(), &Msg{
 			Kind:     KAck,
 			Round:    m.Round,
@@ -172,7 +395,21 @@ func (w *worker) handle(m *Msg) {
 			Deferred: w.shard.DeferredReads,
 			Hits:     w.shard.CacheHits,
 			Misses:   w.shard.CacheMisses,
+			Steals:   w.steals,
+			Forwards: w.forwarded,
+			Instrs:   w.instrs,
 		})
+
+	case KStealReq:
+		w.handleStealReq(int(m.From))
+
+	case KStealGrant:
+		w.installStolen(m)
+
+	case KStealNone:
+		w.stealOutstanding = false
+		w.stealFails++
+		w.stealWait = w.stealFails
 
 	case KDumpReq:
 		w.handleDumpReq(m)
@@ -208,14 +445,28 @@ func (w *worker) instantiate(tmpl *isa.Template, args []isa.Value) {
 		sp.present[i] = true
 	}
 	w.insts[sp.id] = sp
-	w.ready = append(w.ready, sp)
+	w.enqueue(sp)
 }
 
 // deliver places a token into a local SP's frame, waking it if it was
-// blocked on that slot.
+// blocked on that slot. For an SP that was stolen away, the token is
+// relayed to the thief through the forwarding stub (the relay counts as a
+// data message, balancing the extra receive). A token for an SP that ran
+// here and halted is legal with stealing in play — result tokens an SP
+// never consumes can trail its HALT — and is dropped; a token for an ID
+// this worker has never seen still fails the run.
 func (w *worker) deliver(id int64, slot int, v isa.Value) {
 	sp := w.insts[id]
 	if sp == nil {
+		if thief, ok := w.forwards[id]; ok {
+			w.forwarded++
+			w.send(thief, &Msg{Kind: KToken, SP: id, Slot: int32(slot), Val: v})
+			return
+		}
+		if _, ok := w.halted[id]; ok {
+			w.lateTokens++
+			return
+		}
 		w.fail(fmt.Errorf("token for dead SP %d", id))
 		return
 	}
@@ -227,20 +478,39 @@ func (w *worker) deliver(id int64, slot int, v isa.Value) {
 	sp.present[slot] = true
 	if sp.blocked == slot {
 		sp.blocked = isa.None
-		w.ready = append(w.ready, sp)
+		w.enqueue(sp)
 	}
 }
 
-// route delivers a token to an SP instance anywhere in the cluster: locally,
-// to the owning worker, or to the driver environment (ID 0).
+// route delivers a token to an SP instance anywhere in the cluster:
+// locally (including SPs stolen from another PE's queue, which keep their
+// home ID), to the owning worker, or to the driver environment (ID 0).
 func (w *worker) route(id int64, slot int, v isa.Value) {
+	if w.insts[id] != nil {
+		// Local fast path: the instance lives here, whether home-spawned
+		// or stolen in.
+		w.deliver(id, slot, v)
+		return
+	}
 	pe := peOf(id)
 	switch {
 	case pe == w.pe:
-		w.deliver(id, slot, v)
+		w.deliver(id, slot, v) // forwarding stub / late-token handling
 	case pe < 0: // driver environment
 		w.send(w.driverID(), &Msg{Kind: KToken, SP: 0, Slot: int32(slot), Val: v})
 	case pe < w.n:
+		if _, ok := w.halted[id]; ok {
+			// The SP was stolen in and already halted here; skip the
+			// round trip through its home PE's stub.
+			w.lateTokens++
+			return
+		}
+		if thief, ok := w.forwards[id]; ok {
+			// Stolen in and then stolen away again: relay directly.
+			w.forwarded++
+			w.send(thief, &Msg{Kind: KToken, SP: id, Slot: int32(slot), Val: v})
+			return
+		}
 		w.send(pe, &Msg{Kind: KToken, SP: id, Slot: int32(slot), Val: v})
 	default:
 		w.fail(fmt.Errorf("token for SP %d on unknown PE %d", id, pe))
@@ -290,11 +560,14 @@ func (w *worker) header(sp *spInst, slot int) *istructure.Header {
 }
 
 // step interprets one ready SP until it halts, blocks on an absent operand,
-// or suspends on a missing array header.
+// or suspends on a missing array header. It pops from the top of the deque
+// (the most recently pushed SP): depth-first execution follows each spawn
+// chain down before touching older siblings, which both bounds the live
+// frontier and keeps untouched SPs at the bottom for thieves.
 func (w *worker) step() {
-	sp := w.ready[w.readyHead]
-	w.ready[w.readyHead] = nil
-	w.readyHead++
+	sp := w.ready[len(w.ready)-1]
+	w.ready[len(w.ready)-1] = nil
+	w.ready = w.ready[:len(w.ready)-1]
 	if w.readyHead == len(w.ready) {
 		w.ready = w.ready[:0]
 		w.readyHead = 0
@@ -326,6 +599,7 @@ func (w *worker) step() {
 				return
 			}
 			sp.set(ins.Dst, v)
+			w.instrs++
 			sp.pc = next
 			continue
 		}
@@ -445,6 +719,9 @@ func (w *worker) step() {
 
 		case isa.HALT:
 			delete(w.insts, sp.id)
+			if sp.stolen {
+				w.halted[sp.id] = struct{}{}
+			}
 			return
 
 		default:
@@ -454,6 +731,11 @@ func (w *worker) step() {
 		if w.failed {
 			return
 		}
+		// Count the instruction only once it completes: a suspension on a
+		// missing array header returns above with pc unchanged, and the
+		// re-execution on wake would otherwise count twice (skewing the
+		// per-PE load numbers the SKEW experiment reports).
+		w.instrs++
 		sp.pc = next
 	}
 }

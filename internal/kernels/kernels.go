@@ -140,6 +140,30 @@ func main(n: int) {
 }
 `
 
+// Triangular is a provably skewed workload under static SPAWND
+// partitioning: row i of the lower-triangular update costs O(i²) (an O(j)
+// accumulation per element, j ≤ i elements), so when the outer loop is
+// split into contiguous row blocks the last PE does asymptotically half of
+// all the work while the first finishes almost immediately. Each row is
+// spawned eagerly as its own not-yet-started SP, which makes the idle PEs'
+// recovery measurable: with work stealing on, they drain the loaded PEs'
+// row queues. The upper triangle is never written (the agreement tests
+// compare presence masks as well as values).
+const Triangular = `
+func main(n: int) {
+	A = array(n, n);
+	for i = 1 to n {
+		for j = 1 to i {
+			s = 0.0;
+			for k = 1 to j {
+				next s = s + sqrt(float(k + i * j));
+			}
+			A[i, j] = s;
+		}
+	}
+}
+`
+
 // All returns the kernel registry.
 func All() []Kernel {
 	intArg := func(n int) []isa.Value { return []isa.Value{isa.Int(int64(n))} }
@@ -149,6 +173,7 @@ func All() []Kernel {
 			Arrays: []string{"T0", "T1", "T2", "T3"}},
 		{Name: "pipeline", Source: Pipeline, Args: intArg, Arrays: []string{"A", "B", "R"}},
 		{Name: "mirror", Source: Mirror, Args: intArg, Arrays: []string{"A", "B"}},
+		{Name: "triangular", Source: Triangular, Args: intArg, Arrays: []string{"A"}},
 	}
 }
 

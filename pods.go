@@ -171,8 +171,13 @@ func (r *ClusterResult) Array(name string) (vals []float64, mask []bool, dims []
 func (r *ClusterResult) Arrays() []string { return r.res.ArrayNames() }
 
 // Stats reports cluster-wide dynamic counts (messages, deferred reads,
-// page-cache traffic).
+// page-cache traffic, steals).
 func (r *ClusterResult) Stats() cluster.Stats { return r.res.Stats }
+
+// PEInstrs reports each worker's executed-instruction count — the per-PE
+// load distribution, e.g. for judging how well work stealing rebalanced a
+// skewed kernel.
+func (r *ClusterResult) PEInstrs() []int64 { return append([]int64(nil), r.res.PEInstrs...) }
 
 // ExecuteCluster runs the program on the message-passing distributed-memory
 // runtime: cfg.NumPEs share-nothing workers over an in-process channel
