@@ -207,6 +207,25 @@ func BenchmarkSkewSteal(b *testing.B) {
 	b.ReportMetric(util, "util-on:tri@4PE")
 }
 
+// BenchmarkAdaptRebind regenerates the ADAPT experiment on a reduced axis
+// (relax at 8 PEs) and reports how much of the drifting-skew kernel's
+// makespan adaptive repartitioning recovers over the static split, plus
+// the utilization the adaptive arm reaches.
+func BenchmarkAdaptRebind(b *testing.B) {
+	var ratio, util float64
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Adapt(48, 5, []int{8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cell := r.Cells[8]
+		ratio = float64(cell[0][0].Makespan) / float64(cell[0][1].Makespan)
+		util = cell[0][1].Util
+	}
+	b.ReportMetric(ratio, "makespan-static/adapt:relax@8PE")
+	b.ReportMetric(util, "util-adapt:relax@8PE")
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed (virtual
 // instructions per wall second) on the 16×16 SIMPLE — a performance guard
 // for the DES core itself.

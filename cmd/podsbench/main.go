@@ -14,6 +14,9 @@
 //	       on the paper kernels (matmul, heat, pipeline)
 //	SKEW — work stealing on/off × PE counts on the skewed kernels
 //	       (triangular, mirror): wall clock, makespan, utilization recovered
+//	ADAPT — adaptive Range-Filter repartitioning on/off × work stealing
+//	       on/off × PE counts on the drifting-skew relax kernel: makespan,
+//	       utilization, rebound count
 //
 // Usage:
 //
@@ -43,7 +46,7 @@ func main() {
 
 func run(argv []string) error {
 	fs := flag.NewFlagSet("podsbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK,SKEW) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK,SKEW,ADAPT) or 'all'")
 	quick := fs.Bool("quick", false, "reduced axes (smaller sizes, fewer PE counts)")
 	csvDir := fs.String("csv", "", "also write figure data as CSV files into this directory")
 	if err := fs.Parse(argv); err != nil {
@@ -56,6 +59,7 @@ func run(argv []string) error {
 	ablN, ablPEs := 32, 16
 	backN, backPEs := 24, 8
 	skewN, skewPEs := 96, []int{1, 2, 4, 8}
+	adaptN, adaptSweeps, adaptPEs := 64, 6, []int{1, 2, 4, 8}
 	if *quick {
 		pes = []int{1, 4, 16}
 		sizes = []int{8, 16}
@@ -63,6 +67,7 @@ func run(argv []string) error {
 		ablN, ablPEs = 16, 8
 		backN, backPEs = 12, 4
 		skewN, skewPEs = 32, []int{1, 4}
+		adaptN, adaptSweeps, adaptPEs = 32, 4, []int{1, 8}
 	}
 
 	want := map[string]bool{}
@@ -166,6 +171,17 @@ func run(argv []string) error {
 		}
 		fmt.Print(r.Format())
 		if err := emitCSV(*csvDir, "skew.csv", r.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if section("ADAPT") {
+		fmt.Println(hr)
+		r, err := bench.Adapt(adaptN, adaptSweeps, adaptPEs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		if err := emitCSV(*csvDir, "adapt.csv", r.WriteCSV); err != nil {
 			return err
 		}
 	}

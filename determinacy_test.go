@@ -3,10 +3,12 @@
 // scheduled. We compile each example kernel once and assert that all three
 // backends — the discrete-event simulator, the shared-memory goroutine
 // runtime, and the message-passing cluster runtime (with work stealing
-// both off and on) — produce bit-for-bit identical array contents at every
-// PE count, including the mirror kernel, whose consumers race ahead of
-// producers and exercise remote deferred reads, and the triangular kernel,
-// whose skewed load makes the steal-on column actually migrate SPs.
+// and adaptive repartitioning both off and on) — produce bit-for-bit
+// identical array contents at every PE count, including the mirror kernel,
+// whose consumers race ahead of producers and exercise remote deferred
+// reads, the triangular kernel, whose skewed load makes the steal-on
+// column actually migrate SPs, and the relax kernel, whose drifting skew
+// makes the adapt-on column actually move Range Filter bounds mid-run.
 package pods_test
 
 import (
@@ -119,6 +121,30 @@ func TestBackendAgreement(t *testing.T) {
 					t.Fatalf("cluster+steal@%d: %v", pes, err)
 				}
 				assertSame(t, fmt.Sprintf("cluster+steal@%d", pes), gather(t, k, "cluster+steal", sres2.Array), want)
+
+				// The adapt-on column: Range Filter bounds moving between
+				// sweeps must not be observable either — iterations only
+				// change *where* they execute. The tight probe interval
+				// makes rebinds actually land inside these tiny runs.
+				ares, err := p.ExecuteCluster(ctx, pods.ClusterConfig{
+					NumPEs: pes, PageElems: determinacyPage, Adapt: true,
+					ProbeInterval: 20 * time.Microsecond,
+				}, args...)
+				if err != nil {
+					t.Fatalf("cluster+adapt@%d: %v", pes, err)
+				}
+				assertSame(t, fmt.Sprintf("cluster+adapt@%d", pes), gather(t, k, "cluster+adapt", ares.Array), want)
+
+				// And both dynamic mechanisms at once: rebound bounds with
+				// in-flight steals.
+				bres, err := p.ExecuteCluster(ctx, pods.ClusterConfig{
+					NumPEs: pes, PageElems: determinacyPage, Adapt: true, Steal: true,
+					ProbeInterval: 20 * time.Microsecond,
+				}, args...)
+				if err != nil {
+					t.Fatalf("cluster+adapt+steal@%d: %v", pes, err)
+				}
+				assertSame(t, fmt.Sprintf("cluster+adapt+steal@%d", pes), gather(t, k, "cluster+adapt+steal", bres.Array), want)
 			}
 		})
 	}

@@ -52,13 +52,19 @@ func TestMsgCodecRoundTrip(t *testing.T) {
 			Steals: 4, Forwards: 6, Instrs: 12345},
 		{Kind: KDumpReq, Arr: 77},
 		{Kind: KDump, Arr: 77, Off: 64, Vals: []isa.Value{isa.Float(1.5)}, Set: []bool{true}},
-		{Kind: KInit, PE: 1, NumPEs: 4, PageElems: 32, DistThreshold: 64, Steal: true,
+		{Kind: KInit, PE: 1, NumPEs: 4, PageElems: 32, DistThreshold: 64, Steal: true, Adapt: true,
 			Peers: []string{"a:1", "b:2"}, Prog: []byte("{}")},
 		{Kind: KStop},
 		{Kind: KStealReq, From: 2},
 		{Kind: KStealGrant, SP: packID(1, 9), Tmpl: 3,
-			Args: []isa.Value{isa.Int(7), {}}, Set: []bool{true, false}},
+			Args: []isa.Value{isa.Int(7), {}}, Set: []bool{true, false},
+			CostLoop: 5, Sweep: packID(0, 2), CostIter: 41},
 		{Kind: KStealNone},
+		{Kind: KSpawn, Tmpl: 6, Args: []isa.Value{isa.Int(3)},
+			Sweep: packID(3, 4), RngOn: true, RngLo: -12, RngHi: 99},
+		{Kind: KCostReport, Tmpl: 6, Sweep: packID(3, 4),
+			Iters: []int64{1, 2, 5}, Costs: []int64{10, 20, 50}},
+		{Kind: KRebound, Tmpl: 6, Cuts: []int64{4, 9, 13}},
 	}
 	for _, m := range msgs {
 		b := encodeMsg(nil, m)

@@ -42,6 +42,18 @@ type Config struct {
 	// test matrix with stealing engaged.
 	Steal bool
 
+	// Adapt enables runtime-adaptive repartitioning of Range Filter
+	// bounds: workers charge executed instructions to the (loop, sweep,
+	// iteration) that caused them and flush the observations to the driver
+	// with every probe ack; the driver re-splits each distributed loop's
+	// index range over the PEs (balanced-prefix over observed costs, with
+	// hysteresis) and broadcasts the new cuts, which workers stamp onto
+	// the next sweep's SPAWND fan-out. Off by default — Range Filter
+	// bounds stay fixed at their compile-time form. The PODS_FORCE_ADAPT
+	// environment variable ("1"/"true") forces it on, so a CI leg can run
+	// the whole test matrix with adaptation engaged.
+	Adapt bool
+
 	// Latency injects a fixed per-hop delay into the in-process channel
 	// transport (every message is held that long before it becomes
 	// receivable; per-pair FIFO is preserved). Zero means deliver
@@ -71,6 +83,9 @@ func (c *Config) fill() error {
 	if ForceStealFromEnv() {
 		c.Steal = true
 	}
+	if ForceAdaptFromEnv() {
+		c.Adapt = true
+	}
 	return nil
 }
 
@@ -78,7 +93,16 @@ func (c *Config) fill() error {
 // override is active ("1" or "true"). Exported so experiment harnesses
 // whose control arms depend on stealing being genuinely off (bench.Skew)
 // test the exact condition fill applies.
-func ForceStealFromEnv() bool {
-	v := os.Getenv("PODS_FORCE_STEAL")
+func ForceStealFromEnv() bool { return forcedEnv("PODS_FORCE_STEAL") }
+
+// ForceAdaptFromEnv reports whether the PODS_FORCE_ADAPT environment
+// override is active ("1" or "true"). Exported for the same reason as
+// ForceStealFromEnv: experiment harnesses whose control arms depend on
+// adaptation being genuinely off (bench.Adapt) test the exact condition
+// fill applies.
+func ForceAdaptFromEnv() bool { return forcedEnv("PODS_FORCE_ADAPT") }
+
+func forcedEnv(name string) bool {
+	v := os.Getenv(name)
 	return v == "1" || v == "true"
 }

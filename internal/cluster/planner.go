@@ -1,0 +1,97 @@
+package cluster
+
+// The split planner is the pure heart of adaptive repartitioning: given the
+// observed per-iteration instruction costs of one completed sweep of a
+// Range-Filtered loop, compute new per-PE index bounds for the next sweep.
+// It is deliberately a plain function of its inputs — no worker or driver
+// state — so the rebind decision is reproducible and table-testable.
+
+// planCuts computes npes-1 interior cut points splitting the iteration
+// range [lo, lo+len(costs)-1] into npes contiguous, possibly empty,
+// sub-ranges of near-equal total cost. costs[k] is the observed cost of
+// iteration lo+k (missing observations are zero). cuts[p] is the last
+// iteration assigned to PE p; PE p executes (cuts[p-1], cuts[p]], with
+// cuts[-1] = -inf and cuts[npes-1] = +inf implied, so any iteration range —
+// even one that later grows or shifts — is still partitioned exactly.
+//
+// prev is the currently installed cut vector (nil when the loop still runs
+// on its static split). The new cuts are adopted only when they improve the
+// predicted makespan — the maximum per-PE cost sum under the observed
+// profile — by more than the hysteresis fraction; otherwise prev is
+// returned unchanged (changed=false), so near-balanced splits do not churn
+// rebound broadcasts. A static split is modelled as the uniform index split
+// of the observed range, which is what every Range-Filter form degenerates
+// to when ownership is spread evenly.
+func planCuts(lo int64, costs []int64, npes int, prev []int64, hysteresis float64) (cuts []int64, changed bool) {
+	if npes <= 1 || len(costs) == 0 {
+		return prev, false
+	}
+
+	var total int64
+	for _, c := range costs {
+		total += c
+	}
+	if total <= 0 {
+		return prev, false
+	}
+
+	// Balanced-prefix split: cut p is placed at the smallest iteration
+	// whose cost prefix reaches the ideal share (p+1)·total/npes. The
+	// greedy prefix walk is optimal to within one iteration's cost, which
+	// is the finest granularity any contiguous split can achieve.
+	cuts = make([]int64, npes-1)
+	var prefix int64
+	k := 0
+	for p := 0; p < npes-1; p++ {
+		target := total * int64(p+1) / int64(npes)
+		for k < len(costs) && prefix < target {
+			prefix += costs[k]
+			k++
+		}
+		cuts[p] = lo + int64(k) - 1
+	}
+
+	baseline := prev
+	if baseline == nil {
+		baseline = uniformCuts(lo, int64(len(costs)), npes)
+	}
+	oldSpan := predictedMakespan(lo, costs, baseline)
+	newSpan := predictedMakespan(lo, costs, cuts)
+	if float64(newSpan) >= float64(oldSpan)*(1-hysteresis) {
+		return prev, false
+	}
+	return cuts, true
+}
+
+// uniformCuts is the static uniform block split of [lo, lo+n-1] over npes —
+// the same arithmetic the UNIFLO/UNIFHI instructions evaluate.
+func uniformCuts(lo, n int64, npes int) []int64 {
+	cuts := make([]int64, npes-1)
+	for p := 0; p < npes-1; p++ {
+		cuts[p] = lo + n*int64(p+1)/int64(npes) - 1
+	}
+	return cuts
+}
+
+// predictedMakespan evaluates a cut vector against an observed cost
+// profile: the maximum total cost any PE would carry if the profile
+// repeated unchanged.
+func predictedMakespan(lo int64, costs []int64, cuts []int64) int64 {
+	var worst, acc int64
+	p := 0
+	for k, c := range costs {
+		iter := lo + int64(k)
+		for p < len(cuts) && iter > cuts[p] {
+			if acc > worst {
+				worst = acc
+			}
+			acc = 0
+			p++
+		}
+		acc += c
+	}
+	if acc > worst {
+		worst = acc
+	}
+	return worst
+}

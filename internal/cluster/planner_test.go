@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// sums evaluates the per-PE cost totals a cut vector induces on a profile.
+func sums(lo int64, costs []int64, cuts []int64, npes int) []int64 {
+	out := make([]int64, npes)
+	for k, c := range costs {
+		iter := lo + int64(k)
+		pe := 0
+		for pe < len(cuts) && iter > cuts[pe] {
+			pe++
+		}
+		out[pe] += c
+	}
+	return out
+}
+
+func TestPlanCutsUniformCostsEvenSplit(t *testing.T) {
+	costs := make([]int64, 16)
+	for i := range costs {
+		costs[i] = 10
+	}
+	// With no installed cuts the static uniform split is already even, so
+	// the planner must not churn.
+	if cuts, changed := planCuts(1, costs, 4, nil, 0.05); changed {
+		t.Fatalf("uniform profile over the static split must not rebind, got %v", cuts)
+	}
+	// From a badly skewed installed split, a uniform profile restores the
+	// even one.
+	skewed := []int64{1, 2, 3} // PE 3 carries 13 of 16 iterations
+	cuts, changed := planCuts(1, costs, 4, skewed, 0.05)
+	if !changed {
+		t.Fatal("uniform profile should rebalance a skewed installed split")
+	}
+	if want := []int64{4, 8, 12}; !reflect.DeepEqual(cuts, want) {
+		t.Fatalf("cuts = %v, want %v", cuts, want)
+	}
+	for pe, s := range sums(1, costs, cuts, 4) {
+		if s != 40 {
+			t.Errorf("PE %d carries %d, want 40", pe, s)
+		}
+	}
+}
+
+func TestPlanCutsTriangularPrefixBalanced(t *testing.T) {
+	// cost(i) = i for i in [1,32]: total 528, ideal share 132 per PE.
+	costs := make([]int64, 32)
+	for i := range costs {
+		costs[i] = int64(i + 1)
+	}
+	cuts, changed := planCuts(1, costs, 4, nil, 0.05)
+	if !changed {
+		t.Fatal("triangular profile should beat the uniform split by far more than 5%")
+	}
+	// Later PEs must receive strictly fewer iterations than earlier ones.
+	widths := []int64{cuts[0], cuts[1] - cuts[0], cuts[2] - cuts[1], 32 - cuts[2]}
+	for p := 1; p < len(widths); p++ {
+		if widths[p] >= widths[p-1] {
+			t.Fatalf("prefix balance violated: widths %v should strictly decrease", widths)
+		}
+	}
+	// Every PE's load is within one iteration's worth (the granularity
+	// bound) of the ideal share.
+	for pe, s := range sums(1, costs, cuts, 4) {
+		if s < 132-32 || s > 132+32 {
+			t.Errorf("PE %d carries %d, want 132±32", pe, s)
+		}
+	}
+}
+
+func TestPlanCutsHysteresisSuppressesSmallChurn(t *testing.T) {
+	// Installed cuts one iteration off the optimum on a flat 80-iteration
+	// profile: predicted makespan 210 vs the optimal 200 — a 4.76%
+	// improvement, under the 5% hysteresis, so the rebind is suppressed.
+	costs := make([]int64, 80)
+	for i := range costs {
+		costs[i] = 10
+	}
+	nudged := []int64{21, 40, 60} // balanced would be {20,40,60}
+	cuts, changed := planCuts(1, costs, 4, nudged, 0.05)
+	if changed {
+		t.Fatalf("sub-5%% improvement must not churn: got new cuts %v over %v", cuts, nudged)
+	}
+	if !reflect.DeepEqual(cuts, nudged) {
+		t.Fatalf("suppressed rebind must return the installed cuts, got %v", cuts)
+	}
+	// Sanity: with hysteresis off the same inputs do move.
+	if _, changed := planCuts(1, costs, 4, nudged, 0); !changed {
+		t.Fatal("zero hysteresis should adopt the strictly better split")
+	}
+}
+
+func TestPlanCutsSingleIteration(t *testing.T) {
+	cuts, changed := planCuts(7, []int64{100}, 4, nil, 0.05)
+	if !changed {
+		// A single iteration cannot beat the uniform split of a 1-wide
+		// range (both give one PE everything), so no rebind is fine —
+		// but the planner must not panic or emit malformed cuts.
+		return
+	}
+	if len(cuts) != 3 {
+		t.Fatalf("got %d cuts, want 3", len(cuts))
+	}
+	total := int64(0)
+	for _, s := range sums(7, []int64{100}, cuts, 4) {
+		total += s
+	}
+	if total != 100 {
+		t.Fatalf("cuts lose cost: total %d, want 100", total)
+	}
+}
+
+func TestPlanCutsSinglePE(t *testing.T) {
+	cuts, changed := planCuts(1, []int64{5, 5, 5}, 1, nil, 0.05)
+	if changed || cuts != nil {
+		t.Fatalf("1 PE has nothing to split: got cuts=%v changed=%v", cuts, changed)
+	}
+}
+
+func TestPlanCutsEmptyAndZeroProfiles(t *testing.T) {
+	if cuts, changed := planCuts(1, nil, 4, []int64{1, 2, 3}, 0.05); changed || !reflect.DeepEqual(cuts, []int64{1, 2, 3}) {
+		t.Fatalf("empty profile must keep installed cuts, got %v changed=%v", cuts, changed)
+	}
+	if cuts, changed := planCuts(1, []int64{0, 0, 0}, 4, nil, 0.05); changed || cuts != nil {
+		t.Fatalf("zero-cost profile must not rebind, got %v changed=%v", cuts, changed)
+	}
+}
+
+func TestCutBoundsPartitionAnyRange(t *testing.T) {
+	cuts := []int64{3, 9, 14}
+	n := 4
+	// The stamped ranges must tile ℤ: ends are ±inf, interior contiguous.
+	if lo, _ := cutBounds(cuts, 0, n); lo != math.MinInt64 {
+		t.Fatalf("PE 0 lower bound = %d, want -inf", lo)
+	}
+	if _, hi := cutBounds(cuts, n-1, n); hi != math.MaxInt64 {
+		t.Fatalf("last PE upper bound = %d, want +inf", hi)
+	}
+	for pe := 1; pe < n; pe++ {
+		_, prevHi := cutBounds(cuts, pe-1, n)
+		lo, _ := cutBounds(cuts, pe, n)
+		if lo != prevHi+1 {
+			t.Fatalf("gap between PE %d and %d: hi=%d lo=%d", pe-1, pe, prevHi, lo)
+		}
+	}
+	// Clamping against an arbitrary real range assigns every iteration to
+	// exactly one PE — even a range that overlaps no cut at all.
+	for _, rng := range [][2]int64{{1, 20}, {-5, 2}, {16, 40}, {7, 7}} {
+		for iter := rng[0]; iter <= rng[1]; iter++ {
+			owners := 0
+			for pe := 0; pe < n; pe++ {
+				lo, hi := cutBounds(cuts, pe, n)
+				if iter >= max(lo, rng[0]) && iter <= min(hi, rng[1]) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("range %v: iteration %d owned by %d PEs", rng, iter, owners)
+			}
+		}
+	}
+}

@@ -98,6 +98,23 @@ const (
 	// give (unloaded, failed, or only in-flight SPs); the thief's backoff
 	// grows.
 	KStealNone
+
+	// KCostReport flushes a worker's per-iteration instruction costs for
+	// one (Range-Filtered loop, sweep) pair to the driver: Tmpl names the
+	// loop template, Sweep the fan-out the costs belong to, and Iters/Costs
+	// are parallel slices of iteration indices and instruction counts
+	// accumulated since the worker's previous flush. Sent alongside each
+	// probe ack, so the reports ride the termination-detection cadence and
+	// stay off the four-counter sums (driver traffic is control-plane).
+	KCostReport
+
+	// KRebound installs new adaptive index bounds for loop template Tmpl on
+	// every worker: Cuts[p] is the last iteration assigned to PE p (the
+	// final PE's upper bound is implied +inf). Workers apply the cuts to
+	// future SPAWND fan-outs of that loop by stamping explicit per-PE
+	// bounds onto the spawn messages, so every copy of one sweep sees one
+	// consistent partition no matter when the rebound arrived.
+	KRebound
 )
 
 func (k MsgKind) String() string {
@@ -134,6 +151,10 @@ func (k MsgKind) String() string {
 		return "stealGrant"
 	case KStealNone:
 		return "stealNone"
+	case KCostReport:
+		return "costReport"
+	case KRebound:
+		return "rebound"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(k))
 	}
@@ -177,14 +198,39 @@ type Msg struct {
 	Forwards   int64 // tokens relayed through forwarding stubs (ack)
 	Instrs     int64 // instructions executed by this worker (ack)
 
+	// Adaptive repartitioning (spawn, stealGrant, costReport, rebound).
+	Sweep    int64   // fan-out identity of a distributed spawn (spawn, costReport)
+	CostLoop int32   // cost-attribution loop template of a migrating SP (stealGrant); -1 = untagged
+	CostIter int64   // cost-attribution iteration of a migrating SP (stealGrant)
+	RngOn    bool    // spawn carries explicit adaptive bounds (spawn)
+	RngLo    int64   // adaptive lower index bound for the receiving PE (spawn)
+	RngHi    int64   // adaptive upper index bound for the receiving PE (spawn)
+	Iters    []int64 // iteration indices of a cost flush (costReport)
+	Costs    []int64 // instruction counts parallel to Iters (costReport)
+	Cuts     []int64 // per-PE last-iteration cut points (rebound)
+
 	// Worker configuration (init).
 	PE            int32
 	NumPEs        int32
 	PageElems     int32
 	DistThreshold int32
 	Steal         bool
+	Adapt         bool
 	Peers         []string
 	Prog          []byte
+}
+
+// hasAdaptBlock reports whether the kind carries the adaptive-
+// repartitioning fields (Sweep … Cuts) on the wire. Gating the block on
+// the kind — known to both codec halves before the block is reached —
+// keeps the flat encoding symmetric while sparing the high-volume data
+// kinds (tokens, writes, pages) ~50 always-zero bytes per frame.
+func (k MsgKind) hasAdaptBlock() bool {
+	switch k {
+	case KSpawn, KStealGrant, KCostReport, KRebound:
+		return true
+	}
+	return false
 }
 
 // isData reports whether the kind is counted by termination detection.
@@ -206,7 +252,9 @@ func (k MsgKind) isData() bool {
 // little-endian scalars, length-prefixed slices and strings. Every field is
 // always encoded — frames stay small because unused slices encode as a
 // 4-byte zero length, and the simplicity buys us an obviously symmetric
-// encoder/decoder pair.
+// encoder/decoder pair. The one exception is the adaptive-repartitioning
+// block, which only the kinds in hasAdaptBlock carry: both codec halves
+// branch on the kind they have already read, so symmetry is preserved.
 
 func appendU32(b []byte, v uint32) []byte  { return binary.LittleEndian.AppendUint32(b, v) }
 func appendI32(b []byte, v int32) []byte   { return appendU32(b, uint32(v)) }
@@ -222,6 +270,14 @@ func appendValue(b []byte, v isa.Value) []byte {
 func appendString(b []byte, s string) []byte {
 	b = appendU32(b, uint32(len(s)))
 	return append(b, s...)
+}
+
+func appendI64s(b []byte, vs []int64) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendI64(b, v)
+	}
+	return b
 }
 
 // encodeMsg appends the wire form of m to b.
@@ -273,11 +329,31 @@ func encodeMsg(b []byte, m *Msg) []byte {
 	b = appendI64(b, m.Steals)
 	b = appendI64(b, m.Forwards)
 	b = appendI64(b, m.Instrs)
+	if m.Kind.hasAdaptBlock() {
+		b = appendI64(b, m.Sweep)
+		b = appendI32(b, m.CostLoop)
+		b = appendI64(b, m.CostIter)
+		if m.RngOn {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendI64(b, m.RngLo)
+		b = appendI64(b, m.RngHi)
+		b = appendI64s(b, m.Iters)
+		b = appendI64s(b, m.Costs)
+		b = appendI64s(b, m.Cuts)
+	}
 	b = appendI32(b, m.PE)
 	b = appendI32(b, m.NumPEs)
 	b = appendI32(b, m.PageElems)
 	b = appendI32(b, m.DistThreshold)
 	if m.Steal {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	if m.Adapt {
 		b = append(b, 1)
 	} else {
 		b = append(b, 0)
@@ -351,6 +427,18 @@ func (r *reader) str() string {
 	return string(b)
 }
 
+func (r *reader) i64s() []int64 {
+	n := r.sliceLen(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.i64()
+	}
+	return out
+}
+
 // sliceLen validates a slice-length prefix against the remaining bytes so a
 // corrupt frame cannot force a huge allocation.
 func (r *reader) sliceLen(elemSize int) int {
@@ -413,11 +501,23 @@ func decodeMsg(b []byte) (*Msg, error) {
 	m.Steals = r.i64()
 	m.Forwards = r.i64()
 	m.Instrs = r.i64()
+	if m.Kind.hasAdaptBlock() {
+		m.Sweep = r.i64()
+		m.CostLoop = r.i32()
+		m.CostIter = r.i64()
+		m.RngOn = r.u8() != 0
+		m.RngLo = r.i64()
+		m.RngHi = r.i64()
+		m.Iters = r.i64s()
+		m.Costs = r.i64s()
+		m.Cuts = r.i64s()
+	}
 	m.PE = r.i32()
 	m.NumPEs = r.i32()
 	m.PageElems = r.i32()
 	m.DistThreshold = r.i32()
 	m.Steal = r.u8() != 0
+	m.Adapt = r.u8() != 0
 	if n := r.sliceLen(4); n > 0 {
 		m.Peers = make([]string, n)
 		for i := range m.Peers {

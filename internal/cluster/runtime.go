@@ -20,6 +20,7 @@ type Stats struct {
 	MsgsSent      int64 // worker-to-worker data messages
 	Steals        int64 // SP instances migrated by work stealing
 	Forwards      int64 // tokens relayed through forwarding stubs
+	Rebounds      int64 // adaptive Range-Filter cut broadcasts (Config.Adapt)
 }
 
 // gathered is one assembled array after a run.
@@ -127,7 +128,7 @@ func Execute(ctx context.Context, prog *isa.Program, cfg Config, args ...isa.Val
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	for pe := 0; pe < cfg.NumPEs; pe++ {
-		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], cfg.Steal)
+		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], cfg.Steal, cfg.Adapt)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -154,6 +155,7 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 		byName: make(map[string]int64),
 	}
 	det := newDetector(n)
+	ad := newAdaptCoord(n)
 	stopAll := func() {
 		for pe := 0; pe < n; pe++ {
 			_ = ep.Send(pe, &Msg{Kind: KStop})
@@ -168,6 +170,7 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	// KFail and flags round completion for KAck.
 	round := int32(0)
 	roundComplete := false
+	probeReset := false
 	handle := func(m *Msg) error {
 		switch m.Kind {
 		case KToken:
@@ -195,6 +198,10 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			if det.record(int(m.From), m) {
 				roundComplete = true
 			}
+		case KCostReport:
+			if ad.merge(m, round) {
+				probeReset = true
+			}
 		case KDump:
 			g := res.arrays[m.Arr]
 			if g == nil {
@@ -210,7 +217,13 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	}
 
 	// Probe rounds with geometric back-off: tight while the run is short,
-	// cheap while it is long.
+	// cheap while it is long. Adaptive repartitioning rides the probe
+	// cadence (cost flushes and rebind decisions happen at round
+	// boundaries), so the back-off additionally resets whenever a new
+	// sweep starts reporting: a sweep in flight means a rebind decision
+	// is imminent and must not wait tens of sweep-lengths for the next
+	// round, while a run whose sweeps have stopped arriving (or that
+	// never rebinds at all) pays no lasting probe overhead.
 	interval := cfg.ProbeInterval
 	maxInterval := 50 * cfg.ProbeInterval
 	for {
@@ -237,17 +250,34 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 		if det.roundDone() {
 			break
 		}
+		// Rebind check at the round boundary: every worker has flushed its
+		// cost observations at least once this round (the flush precedes
+		// the ack on the same FIFO stream), so the coordinator's view is as
+		// fresh as the round itself.
+		for _, rb := range ad.tick(round) {
+			for pe := 0; pe < n; pe++ {
+				m := &Msg{Kind: KRebound, Tmpl: rb.tmpl, Cuts: append([]int64(nil), rb.cuts...)}
+				if err := ep.Send(pe, m); err != nil {
+					stopAll()
+					return nil, err
+				}
+			}
+		}
 		select {
 		case <-time.After(interval):
 		case <-ctx.Done():
 			stopAll()
 			return nil, fmt.Errorf("cluster: run cancelled (deadlocked dataflow program? %d live SPs): %w", det.liveSPs(), ctx.Err())
 		}
-		if interval < maxInterval {
+		if probeReset {
+			interval = cfg.ProbeInterval
+			probeReset = false
+		} else if interval < maxInterval {
 			interval *= 2
 		}
 	}
 	res.Stats = det.stats()
+	res.Stats.Rebounds = ad.rebounds
 	res.PEInstrs = det.perPEInstrs()
 
 	// Gather: ask each owning PE for its segment of every array.

@@ -116,8 +116,8 @@ func TestStealProtocolGrantForwardLateToken(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true)
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true, false)
 	driver := eps[2]
 	// drainOnly delivers pending messages without running ready SPs, so
 	// the test controls exactly when instances start executing.
@@ -226,8 +226,8 @@ func TestStealBackClearsStaleStub(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true)
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true, false)
 	driver := eps[2]
 	drainOnly := func(w *worker, ep Endpoint) {
 		for {
@@ -302,8 +302,8 @@ func TestStealDeclinedWhenUnloaded(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true)
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true, false)
 	driver := eps[2]
 	pump := func() {
 		for pumpWorker(w0, eps[0]) || pumpWorker(w1, eps[1]) {
@@ -403,7 +403,7 @@ func TestStealDeterminacyPumpedTriangular(t *testing.T) {
 	eps := newChanTransport(pes, 0)
 	ws := make([]*worker, pes)
 	for pe := range ws {
-		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], true)
+		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], true, false)
 	}
 	driver := eps[pes]
 

@@ -132,6 +132,7 @@ func dialWorkers(ctx context.Context, cfg Config, prog *isa.Program) (Endpoint, 
 			PageElems:     int32(cfg.PageElems),
 			DistThreshold: int32(cfg.DistThreshold),
 			Steal:         cfg.Steal,
+			Adapt:         cfg.Adapt,
 			Peers:         cfg.Workers,
 			Prog:          progBytes,
 		}
@@ -286,7 +287,7 @@ func ServeWorker(ctx context.Context, ln net.Listener) error {
 		PageElems:     int(init.PageElems),
 		DistThreshold: int(init.DistThreshold),
 	}
-	w := newWorker(int(init.PE), t.n, geo, prog, t, init.Steal)
+	w := newWorker(int(init.PE), t.n, geo, prog, t, init.Steal, init.Adapt)
 	for _, m := range stash {
 		w.handle(m)
 	}

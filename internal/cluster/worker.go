@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 
 	"repro/internal/isa"
 	"repro/internal/istructure"
@@ -32,6 +34,28 @@ type spInst struct {
 	// relay hop through the home PE's forwarding stub is what lets a
 	// token trail completion), so only they enter the halted set.
 	stolen bool
+
+	// Adaptive repartitioning (Config.Adapt). costLoop/costSweep/costIter
+	// name the (Range-Filtered loop template, SPAWND fan-out, iteration)
+	// this instance's executed instructions are charged to; costLoop is
+	// -1 for untagged instances. A distributed loop copy carries its own
+	// template as costLoop and charges dynamically to the current value of
+	// its loop variable; every SP it spawns inherits the (loop, sweep) tag
+	// with the iteration frozen at spawn time, so a whole iteration's
+	// subtree — wherever stealing moves it — bills the iteration that
+	// caused it.
+	costLoop  int32
+	costSweep int64
+	costIter  int64
+
+	// rbOn/rbLo/rbHi are explicit adaptive Range-Filter bounds stamped on
+	// a distributed copy at fan-out: when set, the copy's RF instructions
+	// yield these instead of consulting array ownership or the uniform
+	// split, clamped against the loop's real index range. The ends of the
+	// cut vector stamp ±inf, so the per-PE ranges partition any actual
+	// range exactly even if it shifted since the costs were observed.
+	rbOn       bool
+	rbLo, rbHi int64
 }
 
 // worker is one PE: its own I-structure shard, its own SP instances and run
@@ -100,6 +124,18 @@ type worker struct {
 	forwarded        int64 // tokens relayed through forwarding stubs
 	lateTokens       int64 // tokens dropped for halted SPs
 
+	// Adaptive repartitioning (enabled by Config.Adapt). cuts holds the
+	// latest KRebound cut vector per distributed loop template; a SPAWND
+	// fan-out of such a loop stamps each copy with its PE's explicit
+	// bounds, so one spawner fixes one consistent partition per sweep.
+	// costAcc accumulates executed-instruction counts per (loop, sweep,
+	// iteration) between probe flushes; nextSweep numbers this worker's
+	// fan-outs (packed with the PE index into a globally unique sweep ID).
+	adapt     bool
+	cuts      map[int][]int64
+	costAcc   map[costKey]int64
+	nextSweep int64
+
 	// sliceSteps counts step() calls since the last cooperative yield.
 	sliceSteps int
 
@@ -107,7 +143,15 @@ type worker struct {
 	stopped bool
 }
 
-func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, steal bool) *worker {
+// costKey identifies one cost-accounting bucket: the Range-Filtered loop
+// template, the SPAWND fan-out (sweep), and the iteration index.
+type costKey struct {
+	loop  int32
+	sweep int64
+	iter  int64
+}
+
+func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, steal, adapt bool) *worker {
 	return &worker{
 		pe:          pe,
 		n:           n,
@@ -115,12 +159,14 @@ func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, st
 		prog:        prog,
 		ep:          ep,
 		steal:       steal && n > 1,
+		adapt:       adapt && n > 1,
 		shard:       istructure.NewShard(pe),
 		insts:       make(map[int64]*spInst),
 		waitArray:   make(map[int64][]*spInst),
 		pending:     make(map[int64][]*Msg),
 		forwards:    make(map[int64]int),
 		halted:      make(map[int64]struct{}),
+		costAcc:     make(map[costKey]int64),
 		stealVictim: pe, // first attempt targets (pe+1) mod n
 	}
 }
@@ -289,12 +335,17 @@ func (w *worker) handleStealReq(thief int) {
 	delete(w.insts, sp.id)
 	w.forwards[sp.id] = thief
 	// The frame slices travel with the grant; the receiver owns them now.
+	// The cost-attribution tag travels too, so a migrated iteration keeps
+	// billing the iteration (on the loop that spawned it) that caused it.
 	w.send(thief, &Msg{
-		Kind: KStealGrant,
-		SP:   sp.id,
-		Tmpl: int32(sp.tmpl.ID),
-		Args: sp.frame,
-		Set:  sp.present,
+		Kind:     KStealGrant,
+		SP:       sp.id,
+		Tmpl:     int32(sp.tmpl.ID),
+		Args:     sp.frame,
+		Set:      sp.present,
+		CostLoop: sp.costLoop,
+		Sweep:    sp.costSweep,
+		CostIter: sp.costIter,
 	})
 }
 
@@ -321,12 +372,15 @@ func (w *worker) installStolen(m *Msg) {
 	// here (deliver prefers forwards over halted).
 	delete(w.forwards, m.SP)
 	sp := &spInst{
-		id:      m.SP,
-		tmpl:    tmpl,
-		frame:   m.Args,
-		present: m.Set,
-		blocked: isa.None,
-		stolen:  true,
+		id:        m.SP,
+		tmpl:      tmpl,
+		frame:     m.Args,
+		present:   m.Set,
+		blocked:   isa.None,
+		stolen:    true,
+		costLoop:  m.CostLoop,
+		costSweep: m.Sweep,
+		costIter:  m.CostIter,
 	}
 	w.insts[sp.id] = sp
 	w.steals++
@@ -345,7 +399,16 @@ func (w *worker) handle(m *Msg) {
 			w.fail(fmt.Errorf("spawn of unknown template %d", m.Tmpl))
 			return
 		}
-		w.instantiate(tmpl, m.Args)
+		sp := w.instantiate(tmpl, m.Args)
+		if sp != nil && m.Sweep != 0 {
+			// A distributed fan-out copy: it charges its subtree to this
+			// sweep and, when stamped, overrides its Range Filter with the
+			// explicit bounds the spawner computed for this PE.
+			sp.costLoop, sp.costSweep = m.Tmpl, m.Sweep
+			if m.RngOn {
+				sp.rbOn, sp.rbLo, sp.rbHi = true, m.RngLo, m.RngHi
+			}
+		}
 
 	case KToken:
 		w.deliver(m.SP, int(m.Slot), m.Val)
@@ -386,6 +449,11 @@ func (w *worker) handle(m *Msg) {
 				w.stealWait = 0
 			}
 		}
+		// Flush cost observations before the ack: per-sender FIFO then
+		// guarantees the driver has merged this worker's reports by the
+		// time it evaluates the round, so a rebind decision made at a
+		// round boundary never misses costs the round's acks imply.
+		w.flushCosts()
 		w.send(w.driverID(), &Msg{
 			Kind:     KAck,
 			Round:    m.Round,
@@ -411,6 +479,16 @@ func (w *worker) handle(m *Msg) {
 		w.stealFails++
 		w.stealWait = w.stealFails
 
+	case KRebound:
+		if len(m.Cuts) != w.n-1 {
+			w.fail(fmt.Errorf("rebound for template %d with %d cuts, want %d", m.Tmpl, len(m.Cuts), w.n-1))
+			return
+		}
+		if w.cuts == nil {
+			w.cuts = make(map[int][]int64)
+		}
+		w.cuts[int(m.Tmpl)] = m.Cuts
+
 	case KDumpReq:
 		w.handleDumpReq(m)
 
@@ -426,19 +504,22 @@ func (w *worker) handle(m *Msg) {
 	}
 }
 
-// instantiate creates a live SP instance on this worker.
-func (w *worker) instantiate(tmpl *isa.Template, args []isa.Value) {
+// instantiate creates a live SP instance on this worker and returns it so
+// the caller can tag it (cost attribution, stamped bounds) before it first
+// runs; nil on failure.
+func (w *worker) instantiate(tmpl *isa.Template, args []isa.Value) *spInst {
 	if len(args) != tmpl.NParams {
 		w.fail(fmt.Errorf("%q spawned with %d args, want %d", tmpl.Name, len(args), tmpl.NParams))
-		return
+		return nil
 	}
 	w.nextSP++
 	sp := &spInst{
-		id:      packID(w.pe, w.nextSP),
-		tmpl:    tmpl,
-		frame:   make([]isa.Value, tmpl.NSlots),
-		present: make([]bool, tmpl.NSlots),
-		blocked: isa.None,
+		id:       packID(w.pe, w.nextSP),
+		tmpl:     tmpl,
+		frame:    make([]isa.Value, tmpl.NSlots),
+		present:  make([]bool, tmpl.NSlots),
+		blocked:  isa.None,
+		costLoop: -1,
 	}
 	copy(sp.frame, args)
 	for i := range args {
@@ -446,6 +527,65 @@ func (w *worker) instantiate(tmpl *isa.Template, args []isa.Value) {
 	}
 	w.insts[sp.id] = sp
 	w.enqueue(sp)
+	return sp
+}
+
+// charge adds n executed instructions to a cost-accounting bucket.
+func (w *worker) charge(loop int32, sweep, iter, n int64) {
+	w.costAcc[costKey{loop: loop, sweep: sweep, iter: iter}] += n
+}
+
+// flushCosts sends the accumulated cost buckets to the driver as one
+// KCostReport per (loop, sweep) pair and clears them. Buckets are flushed
+// in sorted order so the report stream is deterministic for a given
+// accumulation state.
+func (w *worker) flushCosts() {
+	if len(w.costAcc) == 0 {
+		return
+	}
+	keys := make([]costKey, 0, len(w.costAcc))
+	for k := range w.costAcc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.loop != b.loop {
+			return a.loop < b.loop
+		}
+		if a.sweep != b.sweep {
+			return a.sweep < b.sweep
+		}
+		return a.iter < b.iter
+	})
+	var cur *Msg
+	for _, k := range keys {
+		if cur == nil || cur.Tmpl != k.loop || cur.Sweep != k.sweep {
+			if cur != nil {
+				w.send(w.driverID(), cur)
+			}
+			cur = &Msg{Kind: KCostReport, Tmpl: k.loop, Sweep: k.sweep}
+		}
+		cur.Iters = append(cur.Iters, k.iter)
+		cur.Costs = append(cur.Costs, w.costAcc[k])
+	}
+	w.send(w.driverID(), cur)
+	clear(w.costAcc)
+}
+
+// cutBounds returns PE pe's index range under a rebound cut vector:
+// (cuts[pe-1], cuts[pe]], with ∓inf at the two ends. Because the ranges
+// tile all of ℤ, clamping them against the loop's real bounds partitions
+// any iteration range exactly — a range that shifted or shrank since the
+// costs were observed degrades balance, never correctness.
+func cutBounds(cuts []int64, pe, n int) (lo, hi int64) {
+	lo, hi = math.MinInt64, math.MaxInt64
+	if pe > 0 {
+		lo = cuts[pe-1] + 1
+	}
+	if pe < n-1 {
+		hi = cuts[pe]
+	}
+	return lo, hi
 }
 
 // deliver places a token into a local SP's frame, waking it if it was
@@ -573,6 +713,44 @@ func (w *worker) step() {
 		w.readyHead = 0
 	}
 
+	// Cost attribution: a tagged instance charges every completed
+	// instruction to its (loop, sweep, iteration) bucket. A distributed
+	// loop copy charges dynamically to the current value of its loop
+	// variable (so the copy's own control overhead lands on the iteration
+	// being driven); everything else carries a frozen iteration from spawn
+	// time. Charges are batched per run segment and flushed on exit or
+	// when the dynamic iteration advances.
+	track := sp.costLoop >= 0
+	dynSlot := isa.None
+	if track && sp.tmpl.Distributed && sp.tmpl.Loop != nil {
+		dynSlot = sp.tmpl.Loop.VarSlot
+	}
+	costIter := sp.costIter
+	var costN int64
+	defer func() {
+		if costN > 0 {
+			w.charge(sp.costLoop, sp.costSweep, costIter, costN)
+		}
+	}()
+	chargeStep := func() {
+		if !track {
+			return
+		}
+		if dynSlot != isa.None {
+			if !sp.present[dynSlot] || sp.frame[dynSlot].Kind != isa.KindInt {
+				return // before the loop variable exists there is no iteration to bill
+			}
+			if cur := sp.frame[dynSlot].I; cur != costIter {
+				if costN > 0 {
+					w.charge(sp.costLoop, sp.costSweep, costIter, costN)
+					costN = 0
+				}
+				costIter = cur
+			}
+		}
+		costN++
+	}
+
 	for {
 		if w.failed {
 			return
@@ -600,6 +778,7 @@ func (w *worker) step() {
 			}
 			sp.set(ins.Dst, v)
 			w.instrs++
+			chargeStep()
 			sp.pc = next
 			continue
 		}
@@ -638,6 +817,17 @@ func (w *worker) step() {
 			}
 
 		case isa.ROWLO, isa.ROWHI:
+			// Stamped adaptive bounds override the ownership rule: the
+			// filter's MAX/MIN clamps against the loop's real init/limit
+			// still apply, so a ±inf end stamp degenerates to "no bound".
+			if sp.rbOn {
+				v := sp.rbLo
+				if ins.Op == isa.ROWHI {
+					v = sp.rbHi
+				}
+				sp.set(ins.Dst, isa.Int(v))
+				break
+			}
 			h := w.header(sp, ins.A)
 			if h == nil {
 				return
@@ -652,6 +842,14 @@ func (w *worker) step() {
 			}
 			sp.set(ins.Dst, isa.Int(v))
 		case isa.COLLO, isa.COLHI:
+			if sp.rbOn {
+				v := sp.rbLo
+				if ins.Op == isa.COLHI {
+					v = sp.rbHi
+				}
+				sp.set(ins.Dst, isa.Int(v))
+				break
+			}
 			h := w.header(sp, ins.A)
 			if h == nil {
 				return
@@ -668,6 +866,16 @@ func (w *worker) step() {
 		case isa.UNIFLO, isa.UNIFHI:
 			lo := f[ins.A].AsInt()
 			hi := f[ins.B].AsInt()
+			if sp.rbOn {
+				// The uniform filter replaces the loop bounds outright, so
+				// clamp the stamped range against the real one here.
+				v := max(lo, sp.rbLo)
+				if ins.Op == isa.UNIFHI {
+					v = min(hi, sp.rbHi)
+				}
+				sp.set(ins.Dst, isa.Int(v))
+				break
+			}
 			n := hi - lo + 1
 			if n < 0 {
 				n = 0
@@ -693,16 +901,48 @@ func (w *worker) step() {
 			if ins.Op == isa.SPAWND {
 				// The distributing L operator: one copy per PE. Remote
 				// copies each get their own argument slice — messages are
-				// receiver-owned.
+				// receiver-owned. Under adaptive repartitioning the fan-out
+				// of a Range-Filtered loop is also a sweep boundary: this
+				// spawner mints the sweep ID the copies charge their costs
+				// to, and stamps each copy with its PE's bounds from the
+				// latest rebound — one spawner, one consistent partition,
+				// no install race with a rebound broadcast in flight.
+				var sweep int64
+				var cuts []int64
+				if w.adapt && child.Distributed {
+					w.nextSweep++
+					sweep = packID(w.pe, w.nextSweep)
+					cuts = w.cuts[child.ID]
+				}
 				for pe := 0; pe < w.n; pe++ {
+					var rlo, rhi int64
+					if cuts != nil {
+						rlo, rhi = cutBounds(cuts, pe, w.n)
+					}
 					if pe == w.pe {
-						w.instantiate(child, cargs)
+						csp := w.instantiate(child, cargs)
+						if csp != nil && sweep != 0 {
+							csp.costLoop, csp.costSweep = int32(child.ID), sweep
+							if cuts != nil {
+								csp.rbOn, csp.rbLo, csp.rbHi = true, rlo, rhi
+							}
+						}
 						continue
 					}
-					w.send(pe, &Msg{Kind: KSpawn, Tmpl: int32(child.ID), Args: append([]isa.Value(nil), cargs...)})
+					m := &Msg{Kind: KSpawn, Tmpl: int32(child.ID), Args: append([]isa.Value(nil), cargs...), Sweep: sweep}
+					if cuts != nil {
+						m.RngOn, m.RngLo, m.RngHi = true, rlo, rhi
+					}
+					w.send(pe, m)
 				}
 			} else {
-				w.instantiate(child, cargs)
+				// A plain spawn stays local and joins the spawner's cost
+				// subtree: the child bills the iteration the spawner was
+				// executing when it was created.
+				csp := w.instantiate(child, cargs)
+				if csp != nil && track {
+					csp.costLoop, csp.costSweep, csp.costIter = sp.costLoop, sp.costSweep, costIter
+				}
 			}
 
 		case isa.SEND:
@@ -736,6 +976,7 @@ func (w *worker) step() {
 		// re-execution on wake would otherwise count twice (skewing the
 		// per-PE load numbers the SKEW experiment reports).
 		w.instrs++
+		chargeStep()
 		sp.pc = next
 	}
 }

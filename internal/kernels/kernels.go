@@ -164,6 +164,54 @@ func main(n: int) {
 }
 `
 
+// Relax is an iterative triangular relaxation whose optimal Range-Filter
+// split drifts across sweeps — the workload adaptive repartitioning is
+// for. One array W holds sweeps+1 grid versions side by side in its
+// columns (arrays cannot be loop-carried, so versions are column blocks);
+// sweep s reads block s-1 and writes block s. Row i's cost at sweep s is
+// a cyclic triangle wave over (i + 2(s-1)) inner-loop trips per element —
+// a smooth load peak that rotates two rows per sweep, so any fixed
+// partition is wrong for most sweeps, while costs observed in sweep s-1
+// remain a near-perfect predictor for sweep s even when the rebind lands
+// a sweep late. The serial gs-loop reads one element from every row of
+// the freshly written block and feeds the result into the next sweep's
+// arguments, making each sweep's SPAWND fan-out a true sweep barrier:
+// sweep s+1 cannot start before sweep s has finished everywhere.
+const Relax = `
+func main(n: int, sweeps: int) {
+	W = array(n, (sweeps + 1) * n);
+	for i0 = 1 to n {
+		for j0 = 1 to n {
+			W[i0, j0] = float(i0 * 3 + j0) * 0.25;
+		}
+	}
+	g = 0.0;
+	for s = 1 to sweeps {
+		relax(n, s, g, W);
+		gs = 0.0;
+		for r = 1 to n {
+			next gs = gs + W[r, s * n + n];
+		}
+		next g = gs * 0.000001;
+	}
+}
+
+func relax(n: int, s: int, gate: float, W: array2) {
+	off = (s - 1) * 2 % (2 * n);
+	for i = 1 to n {
+		w = (i + off) % (2 * n);
+		lim = if w < n then w + 1 else 2 * n - w;
+		for j = 1 to n {
+			acc = gate * 0.0;
+			for k = 1 to lim {
+				next acc = acc + sqrt(W[i, (s - 1) * n + j] + float(k + j));
+			}
+			W[i, s * n + j] = acc;
+		}
+	}
+}
+`
+
 // All returns the kernel registry.
 func All() []Kernel {
 	intArg := func(n int) []isa.Value { return []isa.Value{isa.Int(int64(n))} }
@@ -174,6 +222,9 @@ func All() []Kernel {
 		{Name: "pipeline", Source: Pipeline, Args: intArg, Arrays: []string{"A", "B", "R"}},
 		{Name: "mirror", Source: Mirror, Args: intArg, Arrays: []string{"A", "B"}},
 		{Name: "triangular", Source: Triangular, Args: intArg, Arrays: []string{"A"}},
+		{Name: "relax", Source: Relax,
+			Args:   func(n int) []isa.Value { return []isa.Value{isa.Int(int64(n)), isa.Int(4)} },
+			Arrays: []string{"W"}},
 	}
 }
 
