@@ -17,6 +17,9 @@
 //	ADAPT — adaptive Range-Filter repartitioning on/off × work stealing
 //	       on/off × PE counts on the drifting-skew relax kernel: makespan,
 //	       utilization, rebound count
+//	CACHE — bounded page cache with CLOCK eviction: hit rate, makespan,
+//	       evictions and refetches vs. the per-shard page cap on heat,
+//	       relax, and matmul (cap 0 = unbounded control arm)
 //
 // Usage:
 //
@@ -46,7 +49,7 @@ func main() {
 
 func run(argv []string) error {
 	fs := flag.NewFlagSet("podsbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK,SKEW,ADAPT) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK,SKEW,ADAPT,CACHE) or 'all'")
 	quick := fs.Bool("quick", false, "reduced axes (smaller sizes, fewer PE counts)")
 	csvDir := fs.String("csv", "", "also write figure data as CSV files into this directory")
 	if err := fs.Parse(argv); err != nil {
@@ -60,6 +63,7 @@ func run(argv []string) error {
 	backN, backPEs := 24, 8
 	skewN, skewPEs := 96, []int{1, 2, 4, 8}
 	adaptN, adaptSweeps, adaptPEs := 64, 6, []int{1, 2, 4, 8}
+	cacheN, cachePEs, cacheCaps := 32, 8, []int{0, 2, 4, 8, 16, 32}
 	if *quick {
 		pes = []int{1, 4, 16}
 		sizes = []int{8, 16}
@@ -68,6 +72,7 @@ func run(argv []string) error {
 		backN, backPEs = 12, 4
 		skewN, skewPEs = 32, []int{1, 4}
 		adaptN, adaptSweeps, adaptPEs = 32, 4, []int{1, 8}
+		cacheN, cachePEs, cacheCaps = 16, 4, []int{0, 2, 8}
 	}
 
 	want := map[string]bool{}
@@ -182,6 +187,17 @@ func run(argv []string) error {
 		}
 		fmt.Print(r.Format())
 		if err := emitCSV(*csvDir, "adapt.csv", r.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if section("CACHE") {
+		fmt.Println(hr)
+		r, err := bench.Cache(cacheN, cachePEs, cacheCaps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		if err := emitCSV(*csvDir, "cache.csv", r.WriteCSV); err != nil {
 			return err
 		}
 	}

@@ -47,9 +47,10 @@ func run(argv []string) error {
 	workers := fs.String("workers", "", "comma-separated worker addresses (driver mode; empty = in-process)")
 	pes := fs.Int("pes", 0, "number of in-process worker PEs (default 4)")
 	argsFlag := fs.String("args", "", "comma-separated integer arguments for main")
-	builtin := fs.String("builtin", "", "run a built-in kernel: matmul | heat | pipeline | mirror | triangular | relax")
+	builtin := fs.String("builtin", "", "run a built-in kernel: matmul | heat | pipeline | mirror | triangular | triread | relax")
 	dump := fs.String("dump", "", "print the named array after the run")
 	pageElems := fs.Int("page", 0, "I-structure page size in elements (default 32)")
+	cachePages := fs.Int("cache", 0, "cap each PE's remote page cache at this many pages, CLOCK-evicted (0 = unbounded)")
 	steal := fs.Bool("steal", false, "enable dynamic work stealing between PEs")
 	adapt := fs.Bool("adapt", false, "enable adaptive repartitioning of Range Filter bounds between sweeps")
 	latency := fs.Duration("latency", 0, "inject per-hop latency into the in-process transport")
@@ -109,7 +110,8 @@ func run(argv []string) error {
 		prog = sys.Program
 	}
 
-	cfg := cluster.Config{NumPEs: *pes, PageElems: *pageElems, Steal: *steal, Adapt: *adapt, Latency: *latency}
+	cfg := cluster.Config{NumPEs: *pes, PageElems: *pageElems, CachePages: *cachePages,
+		Steal: *steal, Adapt: *adapt, Latency: *latency}
 	if *workers != "" {
 		cfg.Workers = strings.Split(*workers, ",")
 	}
@@ -128,8 +130,9 @@ func run(argv []string) error {
 	}
 	n := res.NumPEs
 	st := res.Stats
-	fmt.Printf("%s on %d PEs (%s): %.3f ms wall, %d msgs, %d deferred reads, %d/%d cache hits/misses, %d steals, %d forwards, %d rebounds\n",
-		name, n, transport, float64(wall.Microseconds())/1000, st.MsgsSent, st.DeferredReads, st.CacheHits, st.CacheMisses, st.Steals, st.Forwards, st.Rebounds)
+	fmt.Printf("%s on %d PEs (%s): %.3f ms wall, %d msgs, %d deferred reads, %d/%d cache hits/misses, %d/%d evictions/refetches, %d steals, %d forwards, %d rebounds\n",
+		name, n, transport, float64(wall.Microseconds())/1000, st.MsgsSent, st.DeferredReads, st.CacheHits, st.CacheMisses,
+		st.Evictions, st.Refetches, st.Steals, st.Forwards, st.Rebounds)
 	if res.Value != nil {
 		fmt.Printf("result: %s\n", res.Value)
 	}

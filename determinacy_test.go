@@ -2,13 +2,16 @@
 // must produce identical results no matter how its operations are
 // scheduled. We compile each example kernel once and assert that all three
 // backends — the discrete-event simulator, the shared-memory goroutine
-// runtime, and the message-passing cluster runtime (with work stealing
-// and adaptive repartitioning both off and on) — produce bit-for-bit
-// identical array contents at every PE count, including the mirror kernel,
-// whose consumers race ahead of producers and exercise remote deferred
-// reads, the triangular kernel, whose skewed load makes the steal-on
-// column actually migrate SPs, and the relax kernel, whose drifting skew
-// makes the adapt-on column actually move Range Filter bounds mid-run.
+// runtime, and the message-passing cluster runtime (with work stealing,
+// adaptive repartitioning, and page-cache eviction off and on, separately
+// and combined) — produce bit-for-bit identical array contents at every PE
+// count, including the mirror kernel, whose consumers race ahead of
+// producers and exercise remote deferred reads, the triangular and triread
+// kernels, whose skewed load makes the steal-on column actually migrate
+// SPs, and the relax kernel, whose drifting skew makes the adapt-on column
+// actually move Range Filter bounds mid-run. The eviction columns run with
+// a two-page cap per shard, so CLOCK evictions and refetches really happen
+// inside these runs.
 package pods_test
 
 import (
@@ -145,6 +148,29 @@ func TestBackendAgreement(t *testing.T) {
 					t.Fatalf("cluster+adapt+steal@%d: %v", pes, err)
 				}
 				assertSame(t, fmt.Sprintf("cluster+adapt+steal@%d", pes), gather(t, k, "cluster+adapt+steal", bres.Array), want)
+
+				// The eviction column: a page-cache cap of two pages per
+				// shard forces CLOCK evictions and refetches mid-run, which
+				// must not be observable either (single assignment — a
+				// refetched page carries the same immutable data).
+				eres, err := p.ExecuteCluster(ctx, pods.ClusterConfig{
+					NumPEs: pes, PageElems: determinacyPage, CachePages: 2,
+				}, args...)
+				if err != nil {
+					t.Fatalf("cluster+evict@%d: %v", pes, err)
+				}
+				assertSame(t, fmt.Sprintf("cluster+evict@%d", pes), gather(t, k, "cluster+evict", eres.Array), want)
+
+				// Eviction combined with stealing and adaptation: migrated
+				// SPs refetching evicted pages while bounds rebind.
+				ceres, err := p.ExecuteCluster(ctx, pods.ClusterConfig{
+					NumPEs: pes, PageElems: determinacyPage, CachePages: 2,
+					Adapt: true, Steal: true, ProbeInterval: 20 * time.Microsecond,
+				}, args...)
+				if err != nil {
+					t.Fatalf("cluster+evict+adapt+steal@%d: %v", pes, err)
+				}
+				assertSame(t, fmt.Sprintf("cluster+evict+adapt+steal@%d", pes), gather(t, k, "cluster+evict+adapt+steal", ceres.Array), want)
 			}
 		})
 	}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kernels"
+)
+
+// The CACHE experiment measures what bounding the software page cache
+// costs and buys: each (kernel, cap) cell runs the cluster runtime with
+// Config.CachePages at the given cap (0 = unbounded, the control arm) and
+// reports
+//
+//   - the hit rate: cache hits / (hits + misses) over all remote reads —
+//     the curve that shows how small the cache can get before remote
+//     traffic explodes,
+//   - evictions and refetches: how hard the CLOCK bound worked and how
+//     often it threw away a page that was needed again,
+//   - the makespan (max per-PE executed instructions) and wall clock, so
+//     the memory bound's performance price is visible next to its
+//     footprint.
+//
+// Kernels: heat (the Jacobi step whose boundary reads exercise neighbour
+// pages — the SIMPLE building block named in the ROADMAP item), relax
+// (sweep-structured reads over a version-blocked array, so the working set
+// rotates and a bounded cache must keep re-deciding what to hold), and
+// matmul (every row task re-reads all of B, so its working set exceeds any
+// small cap and the hit-rate curve actually bends — heat and relax touch
+// remote pages in tight bursts and barely notice eviction).
+
+// CacheCell is one (kernel, cap) measurement.
+type CacheCell struct {
+	Wall      time.Duration
+	Makespan  int64   // max per-PE executed instructions
+	HitRate   float64 // hits / (hits + misses); 1.0 when there were no remote reads
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Refetches int64
+}
+
+// CacheResult is the CACHE experiment output.
+type CacheResult struct {
+	N       int
+	PEs     int
+	Caps    []int // page-cache caps; 0 = unbounded control arm
+	Kernels []string
+	// Cells[kernel][cap].
+	Cells map[string]map[int]CacheCell
+}
+
+// cacheKernels are the default workloads for the cap sweep.
+var cacheKernels = []string{"heat", "relax", "matmul"}
+
+// Cache runs the CACHE experiment at problem size n on pes PEs over the
+// given cache caps. With no explicit kernels it covers the default trio; a
+// caller interested in a single cell names one to avoid the rest.
+func Cache(n, pes int, caps []int, kerns ...string) (*CacheResult, error) {
+	if _, forced := cluster.ForceCachePagesFromEnv(); forced {
+		// The override would silently cap the unbounded control arm,
+		// reporting a ~1.0 hit-rate ratio as if the bound cost nothing.
+		return nil, fmt.Errorf("bench: CACHE needs a genuine unbounded control arm; unset PODS_FORCE_CACHE_PAGES")
+	}
+	if len(kerns) == 0 {
+		kerns = cacheKernels
+	}
+	r := &CacheResult{
+		N:       n,
+		PEs:     pes,
+		Caps:    caps,
+		Kernels: kerns,
+		Cells:   make(map[string]map[int]CacheCell),
+	}
+	ctx := context.Background()
+	for _, kn := range r.Kernels {
+		k, ok := kernels.ByName(kn)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown kernel %q", kn)
+		}
+		prog, err := Compile(k.File(), k.Source, true)
+		if err != nil {
+			return nil, err
+		}
+		r.Cells[kn] = make(map[int]CacheCell)
+		for _, cap := range caps {
+			runCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+			start := time.Now()
+			res, err := cluster.Execute(runCtx, prog,
+				cluster.Config{NumPEs: pes, CachePages: cap}, k.Args(n)...)
+			cancel()
+			if err != nil {
+				return nil, fmt.Errorf("%s @cap=%d: %w", kn, cap, err)
+			}
+			cell := CacheCell{
+				Wall:      time.Since(start),
+				Hits:      res.Stats.CacheHits,
+				Misses:    res.Stats.CacheMisses,
+				Evictions: res.Stats.Evictions,
+				Refetches: res.Stats.Refetches,
+			}
+			if total := cell.Hits + cell.Misses; total > 0 {
+				cell.HitRate = float64(cell.Hits) / float64(total)
+			} else {
+				cell.HitRate = 1
+			}
+			for _, v := range res.PEInstrs {
+				if v > cell.Makespan {
+					cell.Makespan = v
+				}
+			}
+			r.Cells[kn][cap] = cell
+		}
+	}
+	return r, nil
+}
+
+// Format renders the experiment.
+func (r *CacheResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CACHE — bounded page cache with CLOCK eviction, n=%d @%dPE (cap in pages per shard; 0 = unbounded)\n", r.N, r.PEs)
+	fmt.Fprintf(&b, "hit-rate = hits÷(hits+misses) over remote reads; refetches = evicted pages fetched again\n\n")
+	fmt.Fprintf(&b, "%-8s %5s %12s %10s %8s %8s %8s %8s %9s\n",
+		"kernel", "cap", "wall-ms", "makespan", "hitrate", "hits", "misses", "evicts", "refetches")
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+	}
+	for _, kn := range r.Kernels {
+		for _, cap := range r.Caps {
+			c := r.Cells[kn][cap]
+			fmt.Fprintf(&b, "%-8s %5d %12s %10d %8.3f %8d %8d %8d %9d\n",
+				kn, cap, ms(c.Wall), c.Makespan, c.HitRate, c.Hits, c.Misses, c.Evictions, c.Refetches)
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV emits kernel,cap,wall_ms,makespan,hit_rate,hits,misses,
+// evictions,refetches rows.
+func (r *CacheResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, kn := range r.Kernels {
+		for _, cap := range r.Caps {
+			c := r.Cells[kn][cap]
+			rows = append(rows, []string{
+				kn, strconv.Itoa(cap),
+				fmtF(float64(c.Wall.Microseconds()) / 1000),
+				strconv.FormatInt(c.Makespan, 10),
+				fmtF(c.HitRate),
+				strconv.FormatInt(c.Hits, 10),
+				strconv.FormatInt(c.Misses, 10),
+				strconv.FormatInt(c.Evictions, 10),
+				strconv.FormatInt(c.Refetches, 10),
+			})
+		}
+	}
+	return writeCSV(w, []string{"kernel", "cap", "wall_ms", "makespan", "hit_rate", "hits", "misses", "evictions", "refetches"}, rows)
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/istructure"
+	"repro/internal/kernels"
+	"repro/internal/rtcfg"
+)
+
+// Tests for the bounded page cache (Config.CachePages): the cap is a hard
+// bound on resident cached pages at every moment of a run, eviction is
+// invisible in the results (single assignment: a refetch returns the same
+// immutable data), and batched locality-aware steal grants reduce the
+// post-steal page fetches that location-blind single grants pay.
+
+// pumpedRun executes a kernel on hand-pumped workers — a deterministic,
+// adversarially fair schedule — and returns the workers and gathered
+// arrays at quiescence. perRound, when non-nil, observes the workers after
+// every pumping round (invariant checks mid-run).
+func pumpedRun(t *testing.T, k kernels.Kernel, n, pes int, steal, stealOne bool,
+	cachePages int, perRound func([]*worker)) ([]*worker, map[int64]*gathered) {
+	t.Helper()
+	prog := compile(t, k.File(), k.Source)
+	geo := rtcfg.Geometry{PEs: pes, PageElems: 8, DistThreshold: 16}
+	if err := geo.Fill(pes); err != nil {
+		t.Fatal(err)
+	}
+	eps := newChanTransport(pes, 0)
+	ws := make([]*worker, pes)
+	for pe := range ws {
+		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], steal, false, cachePages)
+		ws[pe].stealOne = stealOne
+	}
+	driver := eps[pes]
+
+	arrays := make(map[int64]*gathered)
+	drainDriver := func() {
+		for {
+			m, ok := driver.TryRecv()
+			if !ok {
+				return
+			}
+			switch m.Kind {
+			case KAlloc:
+				dims := make([]int, len(m.Dims))
+				for i, d := range m.Dims {
+					dims[i] = int(d)
+				}
+				h, err := istructure.NewHeader(m.Arr, m.Name, dims, geo.PageElems, pes, int(m.Origin), m.Dist)
+				if err != nil {
+					t.Fatal(err)
+				}
+				arrays[m.Arr] = &gathered{h: h, vals: make([]float64, h.Elems()), mask: make([]bool, h.Elems())}
+			case KFail:
+				t.Fatalf("worker failed: %s", m.Name)
+			case KDump:
+				if err := arrays[m.Arr].merge(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	if err := driver.Send(0, &Msg{Kind: KSpawn, Tmpl: int32(prog.EntryID), Args: k.Args(n)}); err != nil {
+		t.Fatal(err)
+	}
+	for rounds := 0; ; rounds++ {
+		if rounds > 50_000_000 {
+			t.Fatal("pumped run did not quiesce")
+		}
+		progress := stepOneRound(ws, eps)
+		drainDriver()
+		if perRound != nil {
+			perRound(ws)
+		}
+		if !progress {
+			break
+		}
+	}
+	var live int64
+	for _, w := range ws {
+		live += int64(len(w.insts))
+	}
+	if live != 0 {
+		t.Fatalf("%d live SPs at quiescence (deadlock)", live)
+	}
+	for id, g := range arrays {
+		for pe := 0; pe < pes; pe++ {
+			lo, hi := g.h.SegmentElems(pe)
+			if lo >= hi {
+				continue
+			}
+			if err := driver.Send(pe, &Msg{Kind: KDumpReq, Arr: id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for stepOneRound(ws, eps) {
+		drainDriver()
+	}
+	drainDriver()
+	return ws, arrays
+}
+
+// checkGathered compares pumped-run arrays bit-for-bit against the
+// simulator reference.
+func checkGathered(t *testing.T, k kernels.Kernel, arrays map[int64]*gathered,
+	wantVals map[string][]float64, wantMasks map[string][]bool) {
+	t.Helper()
+	for name, ref := range wantVals {
+		var g *gathered
+		for _, cand := range arrays {
+			if cand.h.Name == name {
+				g = cand
+			}
+		}
+		if g == nil {
+			t.Fatalf("array %q never allocated", name)
+		}
+		if len(g.vals) != len(ref) {
+			t.Fatalf("%s: %d elements, want %d", name, len(g.vals), len(ref))
+		}
+		for i := range ref {
+			if g.mask[i] != wantMasks[name][i] {
+				t.Fatalf("%s[%d]: written=%v, want %v", name, i, g.mask[i], wantMasks[name][i])
+			}
+			if g.mask[i] && g.vals[i] != ref[i] {
+				t.Fatalf("%s[%d] = %v, want %v (eviction broke determinacy)", name, i, g.vals[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestCacheCapHardBoundDuringRun asserts the acceptance criterion
+// directly: with CachePages set, no shard's resident cached page count
+// ever exceeds the cap at any observable point of the run — checked after
+// every pumping round of a remote-read-heavy kernel, not just at the end.
+func TestCacheCapHardBoundDuringRun(t *testing.T) {
+	const cap = 2
+	k, _ := kernels.ByName("mirror")
+	wantVals, wantMasks := simArraysMasked(t, compile(t, k.File(), k.Source), 4, k.Arrays, k.Args(12)...)
+	ws, arrays := pumpedRun(t, k, 12, 4, false, false, cap, func(ws []*worker) {
+		for _, w := range ws {
+			if got := w.shard.CachedPages(); got > cap {
+				t.Fatalf("pe %d: %d resident cached pages, cap %d", w.pe, got, cap)
+			}
+		}
+	})
+	var evictions, hits int64
+	for _, w := range ws {
+		evictions += w.shard.Evictions
+		hits += w.shard.CacheHits
+	}
+	if evictions == 0 {
+		t.Fatal("mirror at cap 2 evicted nothing — the bound was never exercised")
+	}
+	t.Logf("mirror@4PE cap=%d: %d evictions, %d hits", cap, evictions, hits)
+	checkGathered(t, k, arrays, wantVals, wantMasks)
+}
+
+// TestEvictionKeepsKernelsDeterminate runs the kernel agreement matrix
+// with a tight page-cache cap — evictions and refetches mid-run must not
+// be observable — alone and combined with stealing and adaptation.
+func TestEvictionKeepsKernelsDeterminate(t *testing.T) {
+	const n = 8
+	for _, k := range kernels.All() {
+		t.Run(k.Name, func(t *testing.T) {
+			prog := compile(t, k.File(), k.Source)
+			wantVals, wantMasks := simArraysMasked(t, prog, 4, k.Arrays, k.Args(n)...)
+			for _, pes := range []int{1, 2, 4, 8} {
+				res, err := Execute(testCtx(t), prog,
+					Config{NumPEs: pes, PageElems: 8, CachePages: 2}, k.Args(n)...)
+				if err != nil {
+					t.Fatalf("%d PEs: %v", pes, err)
+				}
+				checkAgainstSimMasked(t, res, wantVals, wantMasks)
+
+				both, err := Execute(testCtx(t), prog,
+					Config{NumPEs: pes, PageElems: 8, CachePages: 2, Steal: true, Adapt: true},
+					k.Args(n)...)
+				if err != nil {
+					t.Fatalf("%d PEs (steal+adapt): %v", pes, err)
+				}
+				checkAgainstSimMasked(t, both, wantVals, wantMasks)
+			}
+		})
+	}
+}
+
+// TestBatchedLocalityStealReducesPostStealMisses is the A/B acceptance
+// check for the grant policy, on a deterministic hand-pumped schedule: the
+// triangular kernel with reads (triread — plain triangular never reads an
+// array, so its post-steal miss count is vacuously zero) at 8 PEs must pay
+// fewer page fetches under batched locality-aware grants than under the
+// PR 2 policy (one location-blind SP per grant). Two mechanisms buy the
+// reduction: a batch is adjacent rows of one victim's block, whose operand
+// rows share straddling pages (n is deliberately not page-aligned), and
+// whole-batch migration means fewer scattered grant events. The pumped
+// schedule is deterministic, so the counts are exactly reproducible.
+func TestBatchedLocalityStealReducesPostStealMisses(t *testing.T) {
+	const n, pes = 26, 8
+	k, ok := kernels.ByName("triread")
+	if !ok {
+		t.Fatal("triread kernel missing")
+	}
+	run := func(single bool) (misses, steals int64) {
+		ws, _ := pumpedRun(t, k, n, pes, true, single, 0, nil)
+		for _, w := range ws {
+			misses += w.shard.CacheMisses
+			steals += w.steals
+		}
+		return misses, steals
+	}
+	singleMisses, singleSteals := run(true)
+	batchMisses, batchSteals := run(false)
+	t.Logf("triread@%dPE: single-grant misses=%d steals=%d, batched misses=%d steals=%d",
+		pes, singleMisses, singleSteals, batchMisses, batchSteals)
+	if singleSteals == 0 || batchSteals == 0 {
+		t.Fatalf("steals single=%d batched=%d — the comparison is vacuous", singleSteals, batchSteals)
+	}
+	if batchMisses >= singleMisses {
+		t.Errorf("batched locality-aware grants paid %d page fetches, single-grant stealing %d — no reduction",
+			batchMisses, singleMisses)
+	}
+}
+
+// TestForceCachePagesEnvOverride: the PODS_FORCE_CACHE_PAGES override caps
+// runs that leave CachePages at its default and never overrides an
+// explicit cap.
+func TestForceCachePagesEnvOverride(t *testing.T) {
+	t.Setenv("PODS_FORCE_CACHE_PAGES", "3")
+	cfg := Config{NumPEs: 2}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CachePages != 3 {
+		t.Fatalf("CachePages = %d, want 3 from the environment", cfg.CachePages)
+	}
+	cfg = Config{NumPEs: 2, CachePages: 7}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CachePages != 7 {
+		t.Fatalf("CachePages = %d, explicit cap must win over the environment", cfg.CachePages)
+	}
+	t.Setenv("PODS_FORCE_CACHE_PAGES", "")
+	cfg = Config{NumPEs: 2, CachePages: -1}
+	if err := cfg.fill(); err == nil {
+		t.Fatal("negative CachePages accepted")
+	}
+}

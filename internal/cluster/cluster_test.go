@@ -49,16 +49,23 @@ func TestMsgCodecRoundTrip(t *testing.T) {
 		{Kind: KFail, Name: "pe 1: boom"},
 		{Kind: KProbe, Round: 12},
 		{Kind: KAck, Round: 12, Sent: 100, Recv: 99, Live: 3, Deferred: 7, Hits: 5, Misses: 2,
-			Steals: 4, Forwards: 6, Instrs: 12345},
+			Steals: 4, Forwards: 6, Instrs: 12345, Evicts: 11, Refetches: 3},
 		{Kind: KDumpReq, Arr: 77},
 		{Kind: KDump, Arr: 77, Off: 64, Vals: []isa.Value{isa.Float(1.5)}, Set: []bool{true}},
-		{Kind: KInit, PE: 1, NumPEs: 4, PageElems: 32, DistThreshold: 64, Steal: true, Adapt: true,
+		{Kind: KInit, PE: 1, NumPEs: 4, PageElems: 32, DistThreshold: 64, CachePages: 16,
+			Steal: true, Adapt: true,
 			Peers: []string{"a:1", "b:2"}, Prog: []byte("{}")},
 		{Kind: KStop},
 		{Kind: KStealReq, From: 2},
-		{Kind: KStealGrant, SP: packID(1, 9), Tmpl: 3,
-			Args: []isa.Value{isa.Int(7), {}}, Set: []bool{true, false},
-			CostLoop: 5, Sweep: packID(0, 2), CostIter: 41},
+		{Kind: KStealReq, From: 3, Hot: []int64{packID(0, 1), packID(2, 5)}},
+		{Kind: KStealGrant, Batch: []StealItem{
+			{SP: packID(1, 9), Tmpl: 3,
+				Args: []isa.Value{isa.Int(7), {}}, Set: []bool{true, false},
+				CostLoop: 5, Sweep: packID(0, 2), CostIter: 41},
+			{SP: packID(1, 10), Tmpl: 3,
+				Args: []isa.Value{isa.Float(2.5), {}}, Set: []bool{true, false},
+				CostLoop: -1},
+		}},
 		{Kind: KStealNone},
 		{Kind: KSpawn, Tmpl: 6, Args: []isa.Value{isa.Int(3)},
 			Sweep: packID(3, 4), RngOn: true, RngLo: -12, RngHi: 99},

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/rtcfg"
@@ -59,6 +60,25 @@ type Config struct {
 	// receivable; per-pair FIFO is preserved). Zero means deliver
 	// immediately. Ignored for TCP workers, whose latency is real.
 	Latency time.Duration
+
+	// CachePages bounds each worker shard's software page cache to this
+	// many resident remote pages, evicted CLOCK/second-chance style once
+	// the cap is reached. 0 (the default) keeps the cache unbounded.
+	// Eviction only ever touches cached remote pages — owned segments are
+	// the array's home storage — so with single assignment a too-small cap
+	// costs refetches, never correctness. The PODS_FORCE_CACHE_PAGES
+	// environment variable (a positive integer) applies a cap to runs that
+	// leave this field zero, so a CI leg can run the whole test matrix
+	// with eviction engaged.
+	CachePages int
+
+	// RoundTimeout bounds how long the driver waits for one termination-
+	// probe round to complete. A worker that dies or wedges mid-round
+	// would otherwise leave ExecuteCluster hanging silently until its
+	// context expires; when a round exceeds this deadline the run fails
+	// with each PE's last-ack state (round, live SPs, message counters)
+	// instead. Defaults to 30s; negative disables the deadline.
+	RoundTimeout time.Duration
 }
 
 // fill applies the shared backend defaults and validates the result.
@@ -80,11 +100,22 @@ func (c *Config) fill() error {
 	if c.Latency < 0 {
 		return fmt.Errorf("cluster: negative injected latency %v", c.Latency)
 	}
+	if c.CachePages < 0 {
+		return fmt.Errorf("cluster: negative page-cache cap %d", c.CachePages)
+	}
+	if c.RoundTimeout == 0 {
+		c.RoundTimeout = 30 * time.Second
+	}
 	if ForceStealFromEnv() {
 		c.Steal = true
 	}
 	if ForceAdaptFromEnv() {
 		c.Adapt = true
+	}
+	if c.CachePages == 0 {
+		if cap, ok := ForceCachePagesFromEnv(); ok {
+			c.CachePages = cap
+		}
 	}
 	return nil
 }
@@ -101,6 +132,23 @@ func ForceStealFromEnv() bool { return forcedEnv("PODS_FORCE_STEAL") }
 // adaptation being genuinely off (bench.Adapt) test the exact condition
 // fill applies.
 func ForceAdaptFromEnv() bool { return forcedEnv("PODS_FORCE_ADAPT") }
+
+// ForceCachePagesFromEnv reports the PODS_FORCE_CACHE_PAGES override: a
+// positive integer page-cache cap applied to runs that leave
+// Config.CachePages at its zero default. Exported so experiment harnesses
+// whose unbounded control arm depends on the cache being genuinely
+// uncapped (bench.Cache) test the exact condition fill applies.
+func ForceCachePagesFromEnv() (int, bool) {
+	v := os.Getenv("PODS_FORCE_CACHE_PAGES")
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
 
 func forcedEnv(name string) bool {
 	v := os.Getenv(name)

@@ -216,7 +216,11 @@ func (w *worker) handleReadReq(m *Msg) {
 }
 
 // handlePage installs a shipped page in the software cache and delivers the
-// requested element to the waiting SP.
+// requested element to the waiting SP. With Config.CachePages set the
+// install may evict a colder page (CLOCK, inside the shard) — and counts as
+// a refetch if this page was itself evicted earlier; the element is
+// delivered from the shipped snapshot either way, so even a page that is
+// evicted again immediately cannot lose the read that fetched it.
 func (w *worker) handlePage(m *Msg) {
 	h := w.shard.Header(m.Arr)
 	if h == nil {

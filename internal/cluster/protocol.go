@@ -83,15 +83,20 @@ const (
 	// KStop shuts a worker down.
 	KStop
 
-	// KStealReq asks a peer for one not-yet-started SP instance. Sent by
-	// an idle worker (empty ready queue) to a victim chosen round-robin
-	// with backoff.
+	// KStealReq asks a peer for not-yet-started SP instances. Sent by an
+	// idle worker (empty ready queue) to a victim chosen round-robin with
+	// backoff. Hot carries the thief's hot-array summary — the arrays with
+	// pages resident in its cache — so the victim can prefer granting SPs
+	// whose operand arrays the thief already holds.
 	KStealReq
 
-	// KStealGrant answers a steal request with a stolen SP: its home ID
-	// (SP), template (Tmpl), and operand frame (Args holds the values,
-	// Set the presence bits). The victim leaves a forwarding stub behind
-	// so tokens addressed to the home ID are relayed to the thief.
+	// KStealGrant answers a steal request with a batch of stolen SPs
+	// (Batch): up to half of the victim's stealable backlog in one
+	// message, locality-preferred (SPs whose operand arrays appear in the
+	// thief's Hot summary first, oldest first within equal locality). Each
+	// item ships the SP's home ID, template, operand frame, and cost tag;
+	// the victim leaves one forwarding stub per item behind so tokens
+	// addressed to the home IDs are relayed to the thief.
 	KStealGrant
 
 	// KStealNone answers a steal request when the victim has nothing to
@@ -197,27 +202,47 @@ type Msg struct {
 	Steals     int64 // SPs stolen and installed by this worker (ack)
 	Forwards   int64 // tokens relayed through forwarding stubs (ack)
 	Instrs     int64 // instructions executed by this worker (ack)
+	Evicts     int64 // cached pages evicted by the cache bound (ack)
+	Refetches  int64 // previously evicted pages fetched again (ack)
 
-	// Adaptive repartitioning (spawn, stealGrant, costReport, rebound).
-	Sweep    int64   // fan-out identity of a distributed spawn (spawn, costReport)
-	CostLoop int32   // cost-attribution loop template of a migrating SP (stealGrant); -1 = untagged
-	CostIter int64   // cost-attribution iteration of a migrating SP (stealGrant)
-	RngOn    bool    // spawn carries explicit adaptive bounds (spawn)
-	RngLo    int64   // adaptive lower index bound for the receiving PE (spawn)
-	RngHi    int64   // adaptive upper index bound for the receiving PE (spawn)
-	Iters    []int64 // iteration indices of a cost flush (costReport)
-	Costs    []int64 // instruction counts parallel to Iters (costReport)
-	Cuts     []int64 // per-PE last-iteration cut points (rebound)
+	// Adaptive repartitioning (spawn, costReport, rebound). A migrating
+	// SP's cost tag travels per StealItem in the grant batch.
+	Sweep int64   // fan-out identity of a distributed spawn (spawn, costReport)
+	RngOn bool    // spawn carries explicit adaptive bounds (spawn)
+	RngLo int64   // adaptive lower index bound for the receiving PE (spawn)
+	RngHi int64   // adaptive upper index bound for the receiving PE (spawn)
+	Iters []int64 // iteration indices of a cost flush (costReport)
+	Costs []int64 // instruction counts parallel to Iters (costReport)
+	Cuts  []int64 // per-PE last-iteration cut points (rebound)
+
+	// Work stealing (stealReq, stealGrant).
+	Hot   []int64     // thief's hot-array summary (stealReq)
+	Batch []StealItem // granted SP instances, locality-preferred order (stealGrant)
 
 	// Worker configuration (init).
 	PE            int32
 	NumPEs        int32
 	PageElems     int32
 	DistThreshold int32
+	CachePages    int32
 	Steal         bool
 	Adapt         bool
 	Peers         []string
 	Prog          []byte
+}
+
+// StealItem is one SP instance migrating inside a KStealGrant batch: its
+// home ID, template, operand frame with presence bits, and the cost-
+// attribution tag, so a migrated iteration keeps billing the iteration (on
+// the loop that spawned it) that caused it.
+type StealItem struct {
+	SP       int64
+	Tmpl     int32
+	CostLoop int32 // -1 = untagged
+	Sweep    int64
+	CostIter int64
+	Args     []isa.Value
+	Set      []bool
 }
 
 // hasAdaptBlock reports whether the kind carries the adaptive-
@@ -227,11 +252,28 @@ type Msg struct {
 // kinds (tokens, writes, pages) ~50 always-zero bytes per frame.
 func (k MsgKind) hasAdaptBlock() bool {
 	switch k {
-	case KSpawn, KStealGrant, KCostReport, KRebound:
+	case KSpawn, KCostReport, KRebound:
 		return true
 	}
 	return false
 }
+
+// hasStealBlock reports whether the kind carries the work-stealing fields
+// (Hot, Batch) on the wire, gated the same way as the adapt block.
+func (k MsgKind) hasStealBlock() bool {
+	switch k {
+	case KStealReq, KStealGrant:
+		return true
+	}
+	return false
+}
+
+// hasStatsBlock reports whether the kind carries the probe-answer counters
+// (Sent … Refetches) on the wire. Only the ack does; gating them spares
+// every hot data frame (tokens, writes, pages) the 76 always-zero bytes
+// the ten counters would cost. Round stays in the flat prefix — probes
+// carry it too.
+func (k MsgKind) hasStatsBlock() bool { return k == KAck }
 
 // isData reports whether the kind is counted by termination detection.
 // Of the steal traffic, exactly the grant is data: a KStealGrant in flight
@@ -252,9 +294,11 @@ func (k MsgKind) isData() bool {
 // little-endian scalars, length-prefixed slices and strings. Every field is
 // always encoded — frames stay small because unused slices encode as a
 // 4-byte zero length, and the simplicity buys us an obviously symmetric
-// encoder/decoder pair. The one exception is the adaptive-repartitioning
-// block, which only the kinds in hasAdaptBlock carry: both codec halves
-// branch on the kind they have already read, so symmetry is preserved.
+// encoder/decoder pair. The exceptions are the kind-gated blocks — probe
+// statistics (hasStatsBlock), adaptive repartitioning (hasAdaptBlock), and
+// work stealing (hasStealBlock): both codec halves branch on the kind they
+// have already read, so symmetry is preserved while the high-volume data
+// kinds stay free of always-zero bytes.
 
 func appendU32(b []byte, v uint32) []byte  { return binary.LittleEndian.AppendUint32(b, v) }
 func appendI32(b []byte, v int32) []byte   { return appendU32(b, uint32(v)) }
@@ -320,19 +364,21 @@ func encodeMsg(b []byte, m *Msg) []byte {
 	}
 	b = appendI32(b, m.ReqPE)
 	b = appendI32(b, m.Round)
-	b = appendI64(b, m.Sent)
-	b = appendI64(b, m.Recv)
-	b = appendI32(b, m.Live)
-	b = appendI64(b, m.Deferred)
-	b = appendI64(b, m.Hits)
-	b = appendI64(b, m.Misses)
-	b = appendI64(b, m.Steals)
-	b = appendI64(b, m.Forwards)
-	b = appendI64(b, m.Instrs)
+	if m.Kind.hasStatsBlock() {
+		b = appendI64(b, m.Sent)
+		b = appendI64(b, m.Recv)
+		b = appendI32(b, m.Live)
+		b = appendI64(b, m.Deferred)
+		b = appendI64(b, m.Hits)
+		b = appendI64(b, m.Misses)
+		b = appendI64(b, m.Steals)
+		b = appendI64(b, m.Forwards)
+		b = appendI64(b, m.Instrs)
+		b = appendI64(b, m.Evicts)
+		b = appendI64(b, m.Refetches)
+	}
 	if m.Kind.hasAdaptBlock() {
 		b = appendI64(b, m.Sweep)
-		b = appendI32(b, m.CostLoop)
-		b = appendI64(b, m.CostIter)
 		if m.RngOn {
 			b = append(b, 1)
 		} else {
@@ -344,10 +390,35 @@ func encodeMsg(b []byte, m *Msg) []byte {
 		b = appendI64s(b, m.Costs)
 		b = appendI64s(b, m.Cuts)
 	}
+	if m.Kind.hasStealBlock() {
+		b = appendI64s(b, m.Hot)
+		b = appendU32(b, uint32(len(m.Batch)))
+		for i := range m.Batch {
+			it := &m.Batch[i]
+			b = appendI64(b, it.SP)
+			b = appendI32(b, it.Tmpl)
+			b = appendI32(b, it.CostLoop)
+			b = appendI64(b, it.Sweep)
+			b = appendI64(b, it.CostIter)
+			b = appendU32(b, uint32(len(it.Args)))
+			for _, v := range it.Args {
+				b = appendValue(b, v)
+			}
+			b = appendU32(b, uint32(len(it.Set)))
+			for _, s := range it.Set {
+				if s {
+					b = append(b, 1)
+				} else {
+					b = append(b, 0)
+				}
+			}
+		}
+	}
 	b = appendI32(b, m.PE)
 	b = appendI32(b, m.NumPEs)
 	b = appendI32(b, m.PageElems)
 	b = appendI32(b, m.DistThreshold)
+	b = appendI32(b, m.CachePages)
 	if m.Steal {
 		b = append(b, 1)
 	} else {
@@ -492,19 +563,21 @@ func decodeMsg(b []byte) (*Msg, error) {
 	m.Dist = r.u8() != 0
 	m.ReqPE = r.i32()
 	m.Round = r.i32()
-	m.Sent = r.i64()
-	m.Recv = r.i64()
-	m.Live = r.i32()
-	m.Deferred = r.i64()
-	m.Hits = r.i64()
-	m.Misses = r.i64()
-	m.Steals = r.i64()
-	m.Forwards = r.i64()
-	m.Instrs = r.i64()
+	if m.Kind.hasStatsBlock() {
+		m.Sent = r.i64()
+		m.Recv = r.i64()
+		m.Live = r.i32()
+		m.Deferred = r.i64()
+		m.Hits = r.i64()
+		m.Misses = r.i64()
+		m.Steals = r.i64()
+		m.Forwards = r.i64()
+		m.Instrs = r.i64()
+		m.Evicts = r.i64()
+		m.Refetches = r.i64()
+	}
 	if m.Kind.hasAdaptBlock() {
 		m.Sweep = r.i64()
-		m.CostLoop = r.i32()
-		m.CostIter = r.i64()
 		m.RngOn = r.u8() != 0
 		m.RngLo = r.i64()
 		m.RngHi = r.i64()
@@ -512,10 +585,39 @@ func decodeMsg(b []byte) (*Msg, error) {
 		m.Costs = r.i64s()
 		m.Cuts = r.i64s()
 	}
+	if m.Kind.hasStealBlock() {
+		m.Hot = r.i64s()
+		// Minimum wire size of one item: the five fixed scalars plus two
+		// empty slice-length prefixes.
+		if n := r.sliceLen(40); n > 0 {
+			m.Batch = make([]StealItem, n)
+			for i := range m.Batch {
+				it := &m.Batch[i]
+				it.SP = r.i64()
+				it.Tmpl = r.i32()
+				it.CostLoop = r.i32()
+				it.Sweep = r.i64()
+				it.CostIter = r.i64()
+				if na := r.sliceLen(17); na > 0 {
+					it.Args = make([]isa.Value, na)
+					for j := range it.Args {
+						it.Args[j] = r.value()
+					}
+				}
+				if ns := r.sliceLen(1); ns > 0 {
+					it.Set = make([]bool, ns)
+					for j := range it.Set {
+						it.Set[j] = r.u8() != 0
+					}
+				}
+			}
+		}
+	}
 	m.PE = r.i32()
 	m.NumPEs = r.i32()
 	m.PageElems = r.i32()
 	m.DistThreshold = r.i32()
+	m.CachePages = r.i32()
 	m.Steal = r.u8() != 0
 	m.Adapt = r.u8() != 0
 	if n := r.sliceLen(4); n > 0 {

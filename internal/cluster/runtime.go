@@ -17,6 +17,8 @@ type Stats struct {
 	DeferredReads int64 // I-structure reads queued on absent elements
 	CacheHits     int64 // remote reads satisfied from the page cache
 	CacheMisses   int64 // remote reads that fetched a page
+	Evictions     int64 // cached pages evicted by the cache bound (Config.CachePages)
+	Refetches     int64 // previously evicted pages fetched again
 	MsgsSent      int64 // worker-to-worker data messages
 	Steals        int64 // SP instances migrated by work stealing
 	Forwards      int64 // tokens relayed through forwarding stubs
@@ -128,7 +130,7 @@ func Execute(ctx context.Context, prog *isa.Program, cfg Config, args ...isa.Val
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	for pe := 0; pe < cfg.NumPEs; pe++ {
-		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], cfg.Steal, cfg.Adapt)
+		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], cfg.Steal, cfg.Adapt, cfg.CachePages)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -236,10 +238,21 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 				return nil, err
 			}
 		}
+		// The round deadline turns a dead or wedged worker into a
+		// diagnosable failure. It re-arms on every received message, so it
+		// measures genuine silence — no driver-bound traffic at all for
+		// the whole timeout while the round stays open, meaning some PE
+		// will never answer — and can never trip a slow-but-progressing
+		// phase. On expiry the run fails with each PE's last-ack state
+		// instead of hanging until the run context expires.
 		for !roundComplete {
-			m, err := ep.Recv(ctx)
+			m, stalled, err := recvStallGuarded(ctx, ep, cfg.RoundTimeout)
 			if err != nil {
 				stopAll()
+				if stalled {
+					return nil, fmt.Errorf("cluster: probe round %d stalled for %v (worker dead or wedged?): %s",
+						round, cfg.RoundTimeout, det.stallReport())
+				}
 				return nil, fmt.Errorf("cluster: run cancelled (deadlocked dataflow program? %d live SPs): %w", det.liveSPs(), err)
 			}
 			if herr := handle(m); herr != nil {
@@ -295,10 +308,19 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			expect++
 		}
 	}
+	// The gather phase gets the same re-arming stall guard as a probe
+	// round: a worker dying between the final quiet round and its
+	// KDumpReq would otherwise hang the driver here just as silently as a
+	// mid-round death would above, while a large gather that keeps making
+	// progress can take as long as it needs.
 	for expect > 0 {
-		m, err := ep.Recv(ctx)
+		m, stalled, err := recvStallGuarded(ctx, ep, cfg.RoundTimeout)
 		if err != nil {
 			stopAll()
+			if stalled {
+				return nil, fmt.Errorf("cluster: result gather stalled for %v with %d dump segments outstanding (worker dead or wedged?)",
+					cfg.RoundTimeout, expect)
+			}
 			return nil, fmt.Errorf("cluster: gathering results: %w", err)
 		}
 		if m.Kind == KDump {
@@ -311,4 +333,20 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	}
 	stopAll()
 	return res, nil
+}
+
+// recvStallGuarded receives one driver-bound message, bounding the wait to
+// stallAfter (0 or negative disables the guard). The deadline covers a
+// single receive, so it re-arms with every message: it fires only on
+// genuine silence, never on a phase that is slow but progressing. stalled
+// distinguishes the guard firing from the caller's context ending.
+func recvStallGuarded(ctx context.Context, ep Endpoint, stallAfter time.Duration) (m *Msg, stalled bool, err error) {
+	if stallAfter <= 0 {
+		m, err = ep.Recv(ctx)
+		return m, false, err
+	}
+	rctx, rcancel := context.WithTimeout(ctx, stallAfter)
+	m, err = ep.Recv(rctx)
+	rcancel()
+	return m, err != nil && ctx.Err() == nil && rctx.Err() != nil, err
 }

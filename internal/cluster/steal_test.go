@@ -116,8 +116,8 @@ func TestStealProtocolGrantForwardLateToken(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true, false)
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true, false, 0)
 	driver := eps[2]
 	// drainOnly delivers pending messages without running ready SPs, so
 	// the test controls exactly when instances start executing.
@@ -226,8 +226,8 @@ func TestStealBackClearsStaleStub(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true, false)
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true, false, 0)
 	driver := eps[2]
 	drainOnly := func(w *worker, ep Endpoint) {
 		for {
@@ -302,8 +302,8 @@ func TestStealDeclinedWhenUnloaded(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true, false)
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true, false, 0)
 	driver := eps[2]
 	pump := func() {
 		for pumpWorker(w0, eps[0]) || pumpWorker(w1, eps[1]) {
@@ -403,7 +403,7 @@ func TestStealDeterminacyPumpedTriangular(t *testing.T) {
 	eps := newChanTransport(pes, 0)
 	ws := make([]*worker, pes)
 	for pe := range ws {
-		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], true, false)
+		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], true, false, 0)
 	}
 	driver := eps[pes]
 
@@ -591,41 +591,173 @@ func maxOf(vs []int64) int64 {
 	return m
 }
 
-// TestDetectorIgnoresDuplicateAcks is the regression test for the probe
-// accounting bug: a duplicated or replayed ack from one PE must not
-// complete a round in place of a PE that never answered, and acks from
-// stale rounds must be ignored.
-func TestDetectorIgnoresDuplicateAcks(t *testing.T) {
-	d := newDetector(2)
-	d.begin(1)
-	ack := func(pe int, round int32, sent int64) bool {
-		return d.record(pe, &Msg{Kind: KAck, Round: round, Sent: sent, Recv: sent})
+// TestStealGrantBatchHalfOldestFirst pins the batched victim policy: a
+// victim with k stealable SPs grants ⌈k/2⌉ in one KStealGrant, and with no
+// locality signal the batch is the oldest not-yet-started SPs in age order.
+func TestStealGrantBatchHalfOldestFirst(t *testing.T) {
+	prog := taskProgram()
+	eps := newChanTransport(2, 0)
+	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	w1 := newWorker(1, 2, geo, prog, eps[1], true, false, 0)
+	driver := eps[2]
+	for i := 0; i < 5; i++ {
+		if err := driver.Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
+			Args: []isa.Value{isa.SPRef(0), isa.Float(float64(i))}}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if ack(0, 1, 10) {
-		t.Fatal("round complete after a single PE answered")
-	}
-	if ack(0, 1, 10) {
-		t.Fatal("duplicate ack from PE 0 completed the round")
-	}
-	if ack(0, 1, 11) {
-		t.Fatal("replayed ack with different counters completed the round")
-	}
-	if ack(1, 0, 5) {
-		t.Fatal("stale-round ack completed the round")
-	}
-	if !ack(1, 1, 10) {
-		t.Fatal("round not complete after both PEs answered")
+	for {
+		m, ok := eps[0].TryRecv()
+		if !ok {
+			break
+		}
+		w0.handle(m)
 	}
 
-	// Out-of-range PE indexes are ignored too.
-	d.begin(2)
-	if ack(-1, 2, 0) || ack(2, 2, 0) {
-		t.Fatal("out-of-range PE completed the round")
+	w1.maybeSteal()
+	if m, ok := eps[0].TryRecv(); ok {
+		w0.handle(m)
+	} else {
+		t.Fatal("no steal request reached the victim")
 	}
+	grant, ok := eps[1].TryRecv()
+	if !ok || grant.Kind != KStealGrant {
+		t.Fatalf("thief got %+v, want a grant", grant)
+	}
+	if len(grant.Batch) != 3 {
+		t.Fatalf("grant batch of %d SPs, want 3 (⌈5/2⌉)", len(grant.Batch))
+	}
+	for i, it := range grant.Batch {
+		if want := packID(0, int64(i+1)); it.SP != want {
+			t.Errorf("batch[%d] = SP %d, want %d (oldest first)", i, it.SP, want)
+		}
+		if _, stub := w0.forwards[it.SP]; !stub {
+			t.Errorf("no forwarding stub for granted SP %d", it.SP)
+		}
+		if w0.insts[it.SP] != nil {
+			t.Errorf("victim still owns granted SP %d", it.SP)
+		}
+	}
+	w1.handle(grant)
+	if w1.steals != 3 || len(w1.insts) != 3 {
+		t.Fatalf("thief installed %d SPs (%d steals), want 3", len(w1.insts), w1.steals)
+	}
+}
 
-	// An ack from a round the detector has moved past stays ignored.
-	if ack(0, 1, 10) {
-		t.Fatal("ack from a finished round completed the new round")
+// TestStealLocalityPreference: the victim prefers granting SPs whose
+// operand-frame arrays appear in the thief's hot summary, oldest first
+// within equal locality.
+func TestStealLocalityPreference(t *testing.T) {
+	prog := taskProgram()
+	eps := newChanTransport(2, 0)
+	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	// Three unstarted SPs whose first operand is an array handle; only the
+	// second references the thief's hot array 77.
+	for _, arr := range []int64{55, 77, 55} {
+		if err := eps[2].Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
+			Args: []isa.Value{isa.Array(arr), isa.Float(0)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		m, ok := eps[0].TryRecv()
+		if !ok {
+			break
+		}
+		w0.handle(m)
+	}
+	w0.handle(&Msg{Kind: KStealReq, From: 1, Hot: []int64{77}})
+	grant, ok := eps[1].TryRecv()
+	if !ok || grant.Kind != KStealGrant {
+		t.Fatalf("got %+v, want a grant", grant)
+	}
+	if len(grant.Batch) != 2 {
+		t.Fatalf("batch of %d, want 2 (⌈3/2⌉)", len(grant.Batch))
+	}
+	if grant.Batch[0].SP != packID(0, 2) {
+		t.Errorf("batch[0] = SP %d, want %d (the hot-array SP preferred over older cold ones)",
+			grant.Batch[0].SP, packID(0, 2))
+	}
+	if grant.Batch[1].SP != packID(0, 1) {
+		t.Errorf("batch[1] = SP %d, want %d (oldest of the cold SPs)",
+			grant.Batch[1].SP, packID(0, 1))
+	}
+}
+
+// TestStealMidDequeGrantNoShift is the regression test for the O(n) copy
+// in the old popStealable: granting around an in-flight entry must leave a
+// tombstone instead of shifting the tail, and the skipped entry must stay
+// where it was.
+func TestStealMidDequeGrantNoShift(t *testing.T) {
+	prog := taskProgram()
+	eps := newChanTransport(2, 0)
+	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	for i := 0; i < 3; i++ {
+		if err := eps[2].Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
+			Args: []isa.Value{isa.SPRef(0), isa.Float(0)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for {
+		m, ok := eps[0].TryRecv()
+		if !ok {
+			break
+		}
+		w0.handle(m)
+	}
+	// Mark the bottom SP as started (in flight): it is pinned, so the
+	// grant must skip it and take the next-oldest.
+	started, third := w0.ready[0], w0.ready[2]
+	started.pc = 1
+	batch := w0.stealBatch(nil)
+	if len(batch) != 1 || batch[0].id != packID(0, 2) {
+		t.Fatalf("batch = %v, want exactly the second SP", batch)
+	}
+	if w0.ready[0] != started || w0.ready[1] != nil || w0.ready[2] != third {
+		t.Fatalf("grant shifted the deque: %v", w0.ready)
+	}
+	if w0.readyNil != 1 {
+		t.Fatalf("readyNil = %d, want 1 tombstone", w0.readyNil)
+	}
+}
+
+// TestReadyDequeBoundedGrowth is the regression test for the unbounded
+// nil prefix: on a run whose queue never drains, steady enqueue-at-top /
+// steal-from-bottom traffic must not grow the backing slice without bound
+// — the dead prefix and tombstones are compacted once they exceed half
+// the slice.
+func TestReadyDequeBoundedGrowth(t *testing.T) {
+	prog := taskProgram()
+	eps := newChanTransport(2, 0)
+	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
+	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	spawn := func() {
+		if err := eps[2].Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
+			Args: []isa.Value{isa.SPRef(0), isa.Float(0)}}); err != nil {
+			t.Fatal(err)
+		}
+		m, ok := eps[0].TryRecv()
+		if !ok {
+			t.Fatal("spawn not delivered")
+		}
+		w0.handle(m)
+	}
+	spawn()
+	for round := 0; round < 10_000; round++ {
+		spawn() // two live SPs queued, never fully drained
+		if got := w0.stealBatch(nil); len(got) != 1 {
+			t.Fatalf("round %d: stole %d SPs, want 1", round, len(got))
+		}
+		if dead := w0.readyHead + w0.readyNil; dead > len(w0.ready) {
+			t.Fatalf("round %d: dead count %d exceeds deque length %d", round, dead, len(w0.ready))
+		}
+		if len(w0.ready) > 8 {
+			t.Fatalf("round %d: deque grew to %d entries for 2 live SPs (prefix never reclaimed)",
+				round, len(w0.ready))
+		}
 	}
 }
 

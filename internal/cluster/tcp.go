@@ -131,6 +131,7 @@ func dialWorkers(ctx context.Context, cfg Config, prog *isa.Program) (Endpoint, 
 			NumPEs:        int32(n),
 			PageElems:     int32(cfg.PageElems),
 			DistThreshold: int32(cfg.DistThreshold),
+			CachePages:    int32(cfg.CachePages),
 			Steal:         cfg.Steal,
 			Adapt:         cfg.Adapt,
 			Peers:         cfg.Workers,
@@ -287,7 +288,7 @@ func ServeWorker(ctx context.Context, ln net.Listener) error {
 		PageElems:     int(init.PageElems),
 		DistThreshold: int(init.DistThreshold),
 	}
-	w := newWorker(int(init.PE), t.n, geo, prog, t, init.Steal, init.Adapt)
+	w := newWorker(int(init.PE), t.n, geo, prog, t, init.Steal, init.Adapt, int(init.CachePages))
 	for _, m := range stash {
 		w.handle(m)
 	}

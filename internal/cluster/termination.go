@@ -1,5 +1,10 @@
 package cluster
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Distributed termination detection, four-counter style (Mattern 1987): the
 // driver repeatedly probes all workers; each worker answers with its
 // cumulative worker-to-worker message counts (sent, received) and its live
@@ -24,6 +29,8 @@ type ackState struct {
 	steals     int64
 	forwards   int64
 	instrs     int64
+	evicts     int64
+	refetches  int64
 }
 
 // detector accumulates probe rounds and decides termination.
@@ -31,10 +38,10 @@ type detector struct {
 	acks []ackState // per worker, latest ack
 
 	// round is the probe round currently being collected; seen marks the
-	// PEs that have answered it and got counts them. Tracking both is
-	// what makes a duplicated or replayed ack harmless: an ack for any
-	// other round is ignored, and a PE counts at most once per round — a
-	// duplicate can therefore never complete a round in place of a PE
+	// PEs that have answered it, and got counts how many have. Tracking
+	// both is what makes a duplicated or replayed ack harmless: an ack for
+	// any other round is ignored, and a PE counts at most once per round —
+	// a duplicate can therefore never complete a round in place of a PE
 	// that never answered.
 	round int32
 	seen  []bool
@@ -71,6 +78,7 @@ func (d *detector) record(pe int, m *Msg) bool {
 		round: m.Round, sent: m.Sent, recv: m.Recv, live: m.Live,
 		deferred: m.Deferred, hits: m.Hits, misses: m.Misses,
 		steals: m.Steals, forwards: m.Forwards, instrs: m.Instrs,
+		evicts: m.Evicts, refetches: m.Refetches,
 	}
 	d.got++
 	return d.got == len(d.acks)
@@ -110,11 +118,32 @@ func (d *detector) stats() Stats {
 		s.DeferredReads += a.deferred
 		s.CacheHits += a.hits
 		s.CacheMisses += a.misses
+		s.Evictions += a.evicts
+		s.Refetches += a.refetches
 		s.MsgsSent += a.sent
 		s.Steals += a.steals
 		s.Forwards += a.forwards
 	}
 	return s
+}
+
+// stallReport describes the round being collected for the driver's
+// round-deadline diagnostic: which PEs never answered, and every PE's
+// last recorded ack state.
+func (d *detector) stallReport() string {
+	var b strings.Builder
+	for pe, a := range d.acks {
+		if pe > 0 {
+			b.WriteString("; ")
+		}
+		if d.seen[pe] {
+			fmt.Fprintf(&b, "pe %d: acked round %d", pe, a.round)
+		} else {
+			fmt.Fprintf(&b, "pe %d: NO ACK for round %d (last ack round %d)", pe, d.round, a.round)
+		}
+		fmt.Fprintf(&b, " live=%d sent=%d recv=%d", a.live, a.sent, a.recv)
+	}
+	return b.String()
 }
 
 // perPEInstrs reports each worker's executed-instruction count from the

@@ -78,10 +78,15 @@ type worker struct {
 	// the oldest not-yet-started SPs sit. Depth-first local execution is
 	// what keeps the bottom stealable: a breadth-first worker touches
 	// every queued SP once during ramp-up, leaving only in-flight
-	// instances that cannot migrate. readyHead tracks the bottom
-	// (amortized-O(1) steal removal, same trick as mailbox).
+	// instances that cannot migrate. Removal anywhere is O(1): bottom
+	// removals advance readyHead over a dead prefix, mid-deque grants
+	// leave nil tombstones (readyNil counts them) that the top pop skips,
+	// and compactReady squeezes the dead entries out once they outnumber
+	// the live ones — so neither the prefix nor the tombstones can grow
+	// without bound on a long run whose queue never fully drains.
 	ready     []*spInst
 	readyHead int
+	readyNil  int
 
 	// waitArray holds SPs suspended mid-instruction on an array whose
 	// header has not arrived yet (an alloc broadcast from another PE can
@@ -113,6 +118,7 @@ type worker struct {
 	// protocol bug and fails loudly. Both maps are bounded by the number
 	// of migrations, not total SPs.
 	steal            bool
+	stealOne         bool // legacy single-grant mode (A/B comparisons in tests)
 	forwards         map[int64]int
 	halted           map[int64]struct{}
 	stealVictim      int   // round-robin cursor over peers
@@ -151,8 +157,8 @@ type costKey struct {
 	iter  int64
 }
 
-func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, steal, adapt bool) *worker {
-	return &worker{
+func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, steal, adapt bool, cachePages int) *worker {
+	w := &worker{
 		pe:          pe,
 		n:           n,
 		geo:         geo,
@@ -169,6 +175,8 @@ func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, st
 		costAcc:     make(map[costKey]int64),
 		stealVictim: pe, // first attempt targets (pe+1) mod n
 	}
+	w.shard.CacheCap = cachePages
+	return w
 }
 
 // driverID is the endpoint index of the driver for this worker's cluster.
@@ -198,9 +206,34 @@ func (w *worker) fail(err error) {
 // steal backoff: the worker is demonstrably not starving, so the next idle
 // spell starts probing victims from scratch.
 func (w *worker) enqueue(sp *spInst) {
+	w.compactReady()
 	w.ready = append(w.ready, sp)
 	w.stealFails = 0
 	w.stealWait = 0
+}
+
+// compactReady reclaims the deque's dead entries — the nil prefix left by
+// bottom (steal) removals plus the mid-deque tombstones — once they
+// outnumber the live entries. The old code only reset on a full drain, so
+// a long run whose queue never emptied grew the slice without bound.
+// Amortized O(1): each compaction moves at most as many live entries as
+// dead ones were reclaimed.
+func (w *worker) compactReady() {
+	dead := w.readyHead + w.readyNil
+	if dead == 0 || dead*2 <= len(w.ready) {
+		return
+	}
+	live := w.ready[:0]
+	for _, sp := range w.ready[w.readyHead:] {
+		if sp != nil {
+			live = append(live, sp)
+		}
+	}
+	for i := len(live); i < len(w.ready); i++ {
+		w.ready[i] = nil
+	}
+	w.ready = live
+	w.readyHead, w.readyNil = 0, 0
 }
 
 // run is the worker main loop: drain the mailbox, then execute ready SPs;
@@ -281,110 +314,184 @@ func (w *worker) maybeSteal() {
 		w.stealVictim = (w.stealVictim + 1) % w.n
 	}
 	w.stealOutstanding = true
-	w.send(w.stealVictim, &Msg{Kind: KStealReq})
+	// The request advertises which arrays are hot here (resident cached
+	// pages), so the victim can prefer granting SPs whose operands this
+	// worker already holds — a stolen iteration that reads a hot array
+	// pays cache hits instead of fresh page fetches.
+	w.send(w.stealVictim, &Msg{Kind: KStealReq, Hot: w.shard.HotArrays(stealHotMax)})
 }
 
-// popStealable removes and returns the oldest not-yet-started SP from the
-// bottom of the ready deque, or nil when the queue has fewer than two
-// entries (a victim must stay loaded after granting) or only in-flight
-// SPs. The bottom holds the SPs the depth-first worker has not touched yet
-// — for a loop nest, whole outer iterations rather than inner fragments.
+// stealHotMax caps the hot-array summary a steal request carries.
+const stealHotMax = 16
+
+// stealBatch selects and removes up to half of the stealable backlog for a
+// thief whose hot-array summary is hot: nil when the victim is unloaded
+// (fewer than two live entries — it must stay loaded after granting) or
+// holds only in-flight SPs. Selection prefers SPs whose operand-frame
+// arrays are resident at the thief (more hot operands first) and is stable
+// within equal locality, so with no locality signal the grant is the
+// oldest not-yet-started SPs in age order — for a loop nest, whole outer
+// iterations rather than inner fragments. Removal never shifts the deque:
+// the bottom entry advances readyHead, mid-deque entries become nil
+// tombstones (amortized O(1) per grant, reclaimed by compactReady).
 //
 // Distributed (Range-Filtered) templates are pinned: their ROWLO/UNIFLO/…
 // instructions clamp the index range to the executing PE's area of
 // responsibility, so running one on a different PE would recompute that
 // PE's share — a double write, not a migration. Everything else is
 // location-independent: its inputs travel in the operand frame.
-func (w *worker) popStealable() *spInst {
-	if len(w.ready)-w.readyHead < 2 {
+func (w *worker) stealBatch(hot []int64) []*spInst {
+	live := len(w.ready) - w.readyHead - w.readyNil
+	if live < 2 {
 		return nil
 	}
+	var cand []int // deque indices of stealable SPs, oldest first
 	for i := w.readyHead; i < len(w.ready); i++ {
 		sp := w.ready[i]
-		if sp.pc != 0 || sp.tmpl.Distributed {
+		if sp == nil || sp.pc != 0 || sp.tmpl.Distributed {
 			continue
 		}
-		if i == w.readyHead {
-			w.ready[i] = nil
-			w.readyHead++
-		} else {
-			copy(w.ready[i:], w.ready[i+1:])
-			w.ready[len(w.ready)-1] = nil
-			w.ready = w.ready[:len(w.ready)-1]
-		}
-		return sp
+		cand = append(cand, i)
 	}
-	return nil
+	if len(cand) == 0 {
+		return nil
+	}
+	limit := (len(cand) + 1) / 2 // steal-half, rounded up so one SP still moves
+	if limit > live-1 {
+		limit = live - 1
+	}
+	if w.stealOne {
+		// Legacy PR 2 policy for A/B comparisons: one SP, oldest first,
+		// locality-blind.
+		limit, hot = 1, nil
+	}
+	if len(hot) > 0 && len(cand) > 1 {
+		hotSet := make(map[int64]struct{}, len(hot))
+		for _, id := range hot {
+			hotSet[id] = struct{}{}
+		}
+		// Score each candidate once (the comparator would otherwise
+		// rescan every operand frame O(log k) times per candidate).
+		scores := make(map[int]int, len(cand))
+		for _, idx := range cand {
+			sp := w.ready[idx]
+			n := 0
+			for s, v := range sp.frame {
+				if sp.present[s] && v.Kind == isa.KindArray {
+					if _, ok := hotSet[v.I]; ok {
+						n++
+					}
+				}
+			}
+			scores[idx] = n
+		}
+		sort.SliceStable(cand, func(i, j int) bool {
+			return scores[cand[i]] > scores[cand[j]]
+		})
+	}
+	if len(cand) > limit {
+		cand = cand[:limit]
+	}
+	batch := make([]*spInst, len(cand))
+	for i, idx := range cand {
+		batch[i] = w.ready[idx]
+		w.ready[idx] = nil
+		w.readyNil++
+	}
+	// Normalize: tombstones at the bottom become dead prefix.
+	for w.readyHead < len(w.ready) && w.ready[w.readyHead] == nil {
+		w.readyHead++
+		w.readyNil--
+	}
+	w.compactReady()
+	return batch
 }
 
-// handleStealReq answers a peer's steal request: grant one not-yet-started
-// SP (leaving a forwarding stub for its home ID) or decline.
-func (w *worker) handleStealReq(thief int) {
+// handleStealReq answers a peer's steal request: grant up to half of the
+// stealable backlog in one batch (leaving a forwarding stub per home ID)
+// or decline.
+func (w *worker) handleStealReq(m *Msg) {
+	thief := int(m.From)
 	if thief < 0 || thief >= w.n || thief == w.pe {
 		w.fail(fmt.Errorf("steal request from invalid PE %d", thief))
 		return
 	}
-	sp := (*spInst)(nil)
+	var batch []*spInst
 	if !w.failed {
-		sp = w.popStealable()
+		batch = w.stealBatch(m.Hot)
 	}
-	if sp == nil {
+	if len(batch) == 0 {
 		w.send(thief, &Msg{Kind: KStealNone})
 		return
 	}
-	delete(w.insts, sp.id)
-	w.forwards[sp.id] = thief
-	// The frame slices travel with the grant; the receiver owns them now.
-	// The cost-attribution tag travels too, so a migrated iteration keeps
-	// billing the iteration (on the loop that spawned it) that caused it.
-	w.send(thief, &Msg{
-		Kind:     KStealGrant,
-		SP:       sp.id,
-		Tmpl:     int32(sp.tmpl.ID),
-		Args:     sp.frame,
-		Set:      sp.present,
-		CostLoop: sp.costLoop,
-		Sweep:    sp.costSweep,
-		CostIter: sp.costIter,
-	})
+	items := make([]StealItem, len(batch))
+	for i, sp := range batch {
+		// The SP leaves this worker's live set the moment it is granted;
+		// the grant in flight keeps the four counters unequal, so a probe
+		// round cannot terminate around the migrating batch. One stub per
+		// item relays tokens addressed to the home IDs.
+		delete(w.insts, sp.id)
+		w.forwards[sp.id] = thief
+		// The frame slices travel with the grant; the receiver owns them
+		// now. The cost-attribution tag travels too, so a migrated
+		// iteration keeps billing the iteration (on the loop that spawned
+		// it) that caused it.
+		items[i] = StealItem{
+			SP:       sp.id,
+			Tmpl:     int32(sp.tmpl.ID),
+			CostLoop: sp.costLoop,
+			Sweep:    sp.costSweep,
+			CostIter: sp.costIter,
+			Args:     sp.frame,
+			Set:      sp.present,
+		}
+	}
+	w.send(thief, &Msg{Kind: KStealGrant, Batch: items})
 }
 
-// installStolen installs a granted SP under its home ID and runs it as if
-// it had been spawned here.
+// installStolen installs each granted SP under its home ID and runs it as
+// if it had been spawned here.
 func (w *worker) installStolen(m *Msg) {
 	w.stealOutstanding = false
-	tmpl := w.prog.Template(int(m.Tmpl))
-	if tmpl == nil {
-		w.fail(fmt.Errorf("steal grant with unknown template %d", m.Tmpl))
+	if len(m.Batch) == 0 {
+		w.fail(errors.New("empty steal grant"))
 		return
 	}
-	if len(m.Args) != tmpl.NSlots || len(m.Set) != tmpl.NSlots {
-		w.fail(fmt.Errorf("steal grant for %q with %d/%d slots, want %d",
-			tmpl.Name, len(m.Args), len(m.Set), tmpl.NSlots))
-		return
+	for i := range m.Batch {
+		it := &m.Batch[i]
+		tmpl := w.prog.Template(int(it.Tmpl))
+		if tmpl == nil {
+			w.fail(fmt.Errorf("steal grant with unknown template %d", it.Tmpl))
+			return
+		}
+		if len(it.Args) != tmpl.NSlots || len(it.Set) != tmpl.NSlots {
+			w.fail(fmt.Errorf("steal grant for %q with %d/%d slots, want %d",
+				tmpl.Name, len(it.Args), len(it.Set), tmpl.NSlots))
+			return
+		}
+		if w.insts[it.SP] != nil {
+			w.fail(fmt.Errorf("steal grant duplicates live SP %d", it.SP))
+			return
+		}
+		// Re-acquiring an SP this worker once granted away must clear its
+		// own stale stub, or the stub chain forms a relay cycle once the
+		// SP halts here (deliver prefers forwards over halted).
+		delete(w.forwards, it.SP)
+		sp := &spInst{
+			id:        it.SP,
+			tmpl:      tmpl,
+			frame:     it.Args,
+			present:   it.Set,
+			blocked:   isa.None,
+			stolen:    true,
+			costLoop:  it.CostLoop,
+			costSweep: it.Sweep,
+			costIter:  it.CostIter,
+		}
+		w.insts[sp.id] = sp
+		w.steals++
+		w.enqueue(sp)
 	}
-	if w.insts[m.SP] != nil {
-		w.fail(fmt.Errorf("steal grant duplicates live SP %d", m.SP))
-		return
-	}
-	// Re-acquiring an SP this worker once granted away must clear its own
-	// stale stub, or the stub chain forms a relay cycle once the SP halts
-	// here (deliver prefers forwards over halted).
-	delete(w.forwards, m.SP)
-	sp := &spInst{
-		id:        m.SP,
-		tmpl:      tmpl,
-		frame:     m.Args,
-		present:   m.Set,
-		blocked:   isa.None,
-		stolen:    true,
-		costLoop:  m.CostLoop,
-		costSweep: m.Sweep,
-		costIter:  m.CostIter,
-	}
-	w.insts[sp.id] = sp
-	w.steals++
-	w.enqueue(sp)
 }
 
 // handle dispatches one incoming message.
@@ -455,21 +562,23 @@ func (w *worker) handle(m *Msg) {
 		// round boundary never misses costs the round's acks imply.
 		w.flushCosts()
 		w.send(w.driverID(), &Msg{
-			Kind:     KAck,
-			Round:    m.Round,
-			Sent:     w.sent,
-			Recv:     w.recv,
-			Live:     int32(len(w.insts)),
-			Deferred: w.shard.DeferredReads,
-			Hits:     w.shard.CacheHits,
-			Misses:   w.shard.CacheMisses,
-			Steals:   w.steals,
-			Forwards: w.forwarded,
-			Instrs:   w.instrs,
+			Kind:      KAck,
+			Round:     m.Round,
+			Sent:      w.sent,
+			Recv:      w.recv,
+			Live:      int32(len(w.insts)),
+			Deferred:  w.shard.DeferredReads,
+			Hits:      w.shard.CacheHits,
+			Misses:    w.shard.CacheMisses,
+			Steals:    w.steals,
+			Forwards:  w.forwarded,
+			Instrs:    w.instrs,
+			Evicts:    w.shard.Evictions,
+			Refetches: w.shard.Refetches,
 		})
 
 	case KStealReq:
-		w.handleStealReq(int(m.From))
+		w.handleStealReq(m)
 
 	case KStealGrant:
 		w.installStolen(m)
@@ -705,12 +814,24 @@ func (w *worker) header(sp *spInst, slot int) *istructure.Header {
 // chain down before touching older siblings, which both bounds the live
 // frontier and keeps untouched SPs at the bottom for thieves.
 func (w *worker) step() {
-	sp := w.ready[len(w.ready)-1]
-	w.ready[len(w.ready)-1] = nil
-	w.ready = w.ready[:len(w.ready)-1]
+	var sp *spInst
+	for sp == nil {
+		if w.readyHead == len(w.ready) {
+			// Only tombstones were left; the deque is now truly empty.
+			w.ready = w.ready[:0]
+			w.readyHead, w.readyNil = 0, 0
+			return
+		}
+		sp = w.ready[len(w.ready)-1]
+		w.ready[len(w.ready)-1] = nil
+		w.ready = w.ready[:len(w.ready)-1]
+		if sp == nil {
+			w.readyNil--
+		}
+	}
 	if w.readyHead == len(w.ready) {
 		w.ready = w.ready[:0]
-		w.readyHead = 0
+		w.readyHead, w.readyNil = 0, 0
 	}
 
 	// Cost attribution: a tagged instance charges every completed

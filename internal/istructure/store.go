@@ -2,6 +2,7 @@ package istructure
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/isa"
 )
@@ -26,15 +27,60 @@ type RemoteWaiter struct {
 // Shard is one PE's slice of I-structure memory: for each array, the
 // elements of the pages in this PE's segment, with presence bits and
 // deferred-read queues, plus this PE's software page cache of remote data.
+//
+// The cache can be memory-bounded: with CacheCap > 0 at most that many
+// remote pages stay resident, evicted CLOCK/second-chance style. Only
+// cached (remote) pages are ever evicted — owned segments are the array's
+// home storage and must persist — and single assignment means an eviction
+// can cost a refetch of the same immutable data but never correctness.
 type Shard struct {
 	PE     int
 	arrays map[int64]*localArray
-	cache  map[int64]map[int]*CachedPage
+	cache  map[int64]map[int]*cacheSlot
+
+	// CacheCap bounds the number of resident cached remote pages; 0 means
+	// unbounded (the pre-eviction behavior). Set it before any page is
+	// installed.
+	CacheCap int
+
+	// clock is the CLOCK ring over resident cached pages: hand sweeps it
+	// clearing reference bits until it finds an unreferenced victim. New
+	// pages enter unreferenced, so a page that is never probed again after
+	// its install is the first to go.
+	clock []*cacheSlot
+	hand  int
+
+	// evicted / evictedPrev record pages that were evicted recently, so a
+	// later re-install of the same page counts as a refetch (the price of
+	// the bound) rather than a first fetch. The record itself must not
+	// undo the memory bound, so it is generational: when the current
+	// generation reaches evictedGen entries it becomes the previous one
+	// and the oldest generation is dropped — memory stays O(evictedGen),
+	// at the cost of undercounting refetches whose reuse distance exceeds
+	// two generations (a statistic, never correctness).
+	evicted     map[pageKey]struct{}
+	evictedPrev map[pageKey]struct{}
 
 	// Stats.
 	DeferredReads int64 // reads enqueued on absent local elements
 	CacheHits     int64 // remote reads satisfied from the page cache
 	CacheMisses   int64 // remote reads that had to fetch a page
+	Evictions     int64 // cached pages evicted by the CLOCK bound
+	Refetches     int64 // page installs that re-fetch a previously evicted page
+}
+
+// pageKey identifies one cached page.
+type pageKey struct {
+	arr  int64
+	page int
+}
+
+// cacheSlot is one resident cached page plus its CLOCK reference bit.
+type cacheSlot struct {
+	arr  int64
+	page int
+	pg   *CachedPage
+	ref  bool
 }
 
 type localArray struct {
@@ -61,9 +107,10 @@ type CachedPage struct {
 // NewShard returns an empty shard for a PE.
 func NewShard(pe int) *Shard {
 	return &Shard{
-		PE:     pe,
-		arrays: make(map[int64]*localArray),
-		cache:  make(map[int64]map[int]*CachedPage),
+		PE:      pe,
+		arrays:  make(map[int64]*localArray),
+		cache:   make(map[int64]map[int]*cacheSlot),
+		evicted: make(map[pageKey]struct{}),
 	}
 }
 
@@ -230,32 +277,161 @@ func (s *Shard) ExtractPage(id int64, off int) (pageIdx int, pg *CachedPage, ele
 }
 
 // InstallPage stores a received remote page in the software cache,
-// overwriting any older (necessarily subset) snapshot.
+// overwriting any older (necessarily subset) snapshot. With CacheCap set,
+// installing a page beyond the cap first evicts a resident page chosen by
+// the CLOCK sweep; re-installing a previously evicted page counts as a
+// refetch.
 func (s *Shard) InstallPage(id int64, pageIdx int, pg *CachedPage) {
 	m := s.cache[id]
 	if m == nil {
-		m = make(map[int]*CachedPage)
+		m = make(map[int]*cacheSlot)
 		s.cache[id] = m
 	}
-	m[pageIdx] = pg
+	if slot := m[pageIdx]; slot != nil {
+		// A fuller snapshot of an already-resident page: refresh in place.
+		// The touch counts as a reference — the page is demonstrably live.
+		slot.pg = pg
+		slot.ref = true
+		return
+	}
+	key := pageKey{id, pageIdx}
+	if _, was := s.evicted[key]; was {
+		s.Refetches++
+	} else if _, was := s.evictedPrev[key]; was {
+		s.Refetches++
+	}
+	slot := &cacheSlot{arr: id, page: pageIdx, pg: pg}
+	if s.CacheCap > 0 && len(s.clock) >= s.CacheCap {
+		// A cap lowered mid-run (rare) shrinks the ring first, O(1) per
+		// page by moving the last slot into the vacated frame.
+		for len(s.clock) > s.CacheCap {
+			i := s.victim()
+			s.evictAt(i)
+			last := len(s.clock) - 1
+			s.clock[i] = s.clock[last]
+			s.clock[last] = nil
+			s.clock = s.clock[:last]
+		}
+		// Classic CLOCK: the new page replaces the victim frame in place
+		// (O(1) — no ring splice), with the hand advancing past it.
+		i := s.victim()
+		s.evictAt(i)
+		s.clock[i] = slot
+		s.hand = i + 1
+	} else {
+		s.clock = append(s.clock, slot)
+	}
+	m[pageIdx] = slot
 }
 
+// victim runs the CLOCK hand until it finds an unreferenced resident page
+// and returns its frame index: referenced pages get their bit cleared and a
+// second chance. Terminates because each pass clears bits, so the second
+// sweep must stop. Only called with a non-empty ring.
+func (s *Shard) victim() int {
+	for {
+		if s.hand >= len(s.clock) {
+			s.hand = 0
+		}
+		if s.clock[s.hand].ref {
+			s.clock[s.hand].ref = false
+			s.hand++
+			continue
+		}
+		return s.hand
+	}
+}
+
+// evictedGen bounds one generation of the refetch-detection record.
+const evictedGen = 8192
+
+// evictAt evicts the resident page in frame i from the cache maps and
+// counts it; the caller reuses or removes the frame itself.
+func (s *Shard) evictAt(i int) {
+	slot := s.clock[i]
+	delete(s.cache[slot.arr], slot.page)
+	if len(s.cache[slot.arr]) == 0 {
+		delete(s.cache, slot.arr)
+	}
+	if len(s.evicted) >= evictedGen {
+		s.evictedPrev = s.evicted
+		s.evicted = make(map[pageKey]struct{}, evictedGen)
+	}
+	s.evicted[pageKey{slot.arr, slot.page}] = struct{}{}
+	s.Evictions++
+}
+
+// CachedPages returns the number of resident cached remote pages — the
+// quantity CacheCap bounds.
+func (s *Shard) CachedPages() int { return len(s.clock) }
+
 // CacheLookup probes the software cache for an element. hitPage reports the
-// page being cached at all; hitElem that the element was present in it.
+// page being cached at all; hitElem that the element was present in it. A
+// probe that finds the page marks it referenced for the CLOCK sweep.
 func (s *Shard) CacheLookup(id int64, h *Header, off int) (v isa.Value, hitPage, hitElem bool) {
 	m := s.cache[id]
 	if m == nil {
 		return isa.Value{}, false, false
 	}
-	pg := m[h.PageOf(off)]
-	if pg == nil {
+	slot := m[h.PageOf(off)]
+	if slot == nil {
 		return isa.Value{}, false, false
 	}
+	slot.ref = true
+	pg := slot.pg
 	i := off - h.PageOf(off)*h.PageElems
 	if i < 0 || i >= len(pg.Vals) || !pg.Set[i] {
 		return isa.Value{}, true, false
 	}
 	return pg.Vals[i], true, true
+}
+
+// HotArrays summarizes this shard's locality for a steal request: the
+// arrays whose data is resident here, hottest first, at most limit
+// entries. Two kinds of residency count — arrays wholly homed at this PE
+// (non-distributed, allocated here: reads of them are free shard hits, the
+// strongest possible signal, so they rank above everything) and arrays
+// with cached remote pages, ranked by resident page count. Distributed
+// arrays' owned segments are excluded: every PE owns a slice of every
+// distributed array, so at array granularity they carry no signal. Ties
+// break on array ID so the summary is deterministic for a given state.
+func (s *Shard) HotArrays(limit int) []int64 {
+	if limit <= 0 {
+		return nil
+	}
+	type hot struct {
+		id    int64
+		home  bool
+		pages int
+	}
+	hs := make([]hot, 0, len(s.cache))
+	for id, a := range s.arrays {
+		if !a.h.Dist && a.h.Origin == s.PE {
+			hs = append(hs, hot{id: id, home: true})
+		}
+	}
+	for id, m := range s.cache {
+		if len(m) > 0 {
+			hs = append(hs, hot{id: id, pages: len(m)})
+		}
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].home != hs[j].home {
+			return hs[i].home
+		}
+		if hs[i].pages != hs[j].pages {
+			return hs[i].pages > hs[j].pages
+		}
+		return hs[i].id < hs[j].id
+	})
+	if len(hs) > limit {
+		hs = hs[:limit]
+	}
+	out := make([]int64, len(hs))
+	for i, h := range hs {
+		out[i] = h.id
+	}
+	return out
 }
 
 // PendingReads returns the number of deferred local reads still queued

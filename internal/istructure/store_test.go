@@ -279,6 +279,131 @@ func TestExtractPageErrors(t *testing.T) {
 	}
 }
 
+// cachePage builds a full present page snapshot for cache tests.
+func cachePage(elems int, base float64) *CachedPage {
+	pg := &CachedPage{Vals: make([]isa.Value, elems), Set: make([]bool, elems)}
+	for i := range pg.Vals {
+		pg.Vals[i] = isa.Float(base + float64(i))
+		pg.Set[i] = true
+	}
+	return pg
+}
+
+// TestCacheCapNeverExceeded: installing any number of pages keeps the
+// resident count at or below CacheCap, and each overflow install evicts
+// exactly one page.
+func TestCacheCapNeverExceeded(t *testing.T) {
+	h, _ := NewHeader(1, "A", []int{16, 16}, 8, 2, 0, true)
+	s := NewShard(1)
+	_ = s.Install(h)
+	s.CacheCap = 3
+	for p := 0; p < 20; p++ {
+		s.InstallPage(1, p, cachePage(8, float64(p)))
+		if got := s.CachedPages(); got > s.CacheCap {
+			t.Fatalf("after installing page %d: %d resident pages, cap %d", p, got, s.CacheCap)
+		}
+	}
+	if s.CachedPages() != 3 {
+		t.Fatalf("resident = %d, want 3 (full cache)", s.CachedPages())
+	}
+	if s.Evictions != 17 {
+		t.Fatalf("evictions = %d, want 17 (20 installs into 3 frames)", s.Evictions)
+	}
+	// Reinstalling the same resident page must not evict anything.
+	before := s.Evictions
+	s.InstallPage(1, 19, cachePage(8, 99))
+	if s.Evictions != before || s.CachedPages() != 3 {
+		t.Fatalf("refresh of resident page evicted (evictions %d→%d)", before, s.Evictions)
+	}
+}
+
+// TestCacheClockSecondChance: a page referenced since the last sweep
+// survives the next eviction; the unreferenced one goes.
+func TestCacheClockSecondChance(t *testing.T) {
+	h, _ := NewHeader(1, "A", []int{8, 8}, 8, 2, 0, true)
+	s := NewShard(1)
+	_ = s.Install(h)
+	s.CacheCap = 2
+	s.InstallPage(1, 0, cachePage(8, 0))
+	s.InstallPage(1, 1, cachePage(8, 10))
+	// Touch page 0: its CLOCK reference bit is now set.
+	if _, hitPage, hitElem := s.CacheLookup(1, h, 0); !hitPage || !hitElem {
+		t.Fatal("probe of resident page 0 missed")
+	}
+	// Page 2 forces an eviction: page 1 (unreferenced) must be the victim,
+	// page 0 gets its second chance.
+	s.InstallPage(1, 2, cachePage(8, 20))
+	if _, hitPage, _ := s.CacheLookup(1, h, 0); !hitPage {
+		t.Fatal("referenced page 0 was evicted — no second chance")
+	}
+	if _, hitPage, _ := s.CacheLookup(1, h, 8); hitPage {
+		t.Fatal("unreferenced page 1 survived while the cache overflowed")
+	}
+	if _, hitPage, _ := s.CacheLookup(1, h, 16); !hitPage {
+		t.Fatal("just-installed page 2 not resident")
+	}
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	// Re-installing the evicted page is a refetch.
+	s.InstallPage(1, 1, cachePage(8, 10))
+	if s.Refetches != 1 {
+		t.Fatalf("refetches = %d, want 1", s.Refetches)
+	}
+	// First-time installs never counted as refetches.
+	if s.CachedPages() > s.CacheCap {
+		t.Fatalf("resident %d exceeds cap %d", s.CachedPages(), s.CacheCap)
+	}
+}
+
+// TestCacheUnboundedByDefault: CacheCap 0 keeps the pre-eviction behavior.
+func TestCacheUnboundedByDefault(t *testing.T) {
+	h, _ := NewHeader(1, "A", []int{32, 32}, 8, 2, 0, true)
+	s := NewShard(1)
+	_ = s.Install(h)
+	for p := 0; p < 64; p++ {
+		s.InstallPage(1, p, cachePage(8, float64(p)))
+	}
+	if s.CachedPages() != 64 || s.Evictions != 0 || s.Refetches != 0 {
+		t.Fatalf("resident=%d evictions=%d refetches=%d, want 64/0/0",
+			s.CachedPages(), s.Evictions, s.Refetches)
+	}
+}
+
+// TestHotArrays: the steal-request summary ranks arrays by resident page
+// count, breaks ties by ID, and respects the limit.
+func TestHotArrays(t *testing.T) {
+	s := NewShard(1)
+	ha, _ := NewHeader(1, "A", []int{16, 16}, 8, 2, 0, true)
+	hb, _ := NewHeader(2, "B", []int{16, 16}, 8, 2, 0, true)
+	hc, _ := NewHeader(3, "C", []int{16, 16}, 8, 2, 0, true)
+	for _, h := range []*Header{ha, hb, hc} {
+		_ = s.Install(h)
+	}
+	if got := s.HotArrays(4); len(got) != 0 {
+		t.Fatalf("empty cache HotArrays = %v, want none", got)
+	}
+	s.InstallPage(2, 0, cachePage(8, 0))
+	s.InstallPage(2, 1, cachePage(8, 0))
+	s.InstallPage(1, 0, cachePage(8, 0))
+	s.InstallPage(3, 0, cachePage(8, 0))
+	got := s.HotArrays(4)
+	if len(got) != 3 || got[0] != 2 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("HotArrays = %v, want [2 1 3] (B hottest, then ties by ID)", got)
+	}
+	if got := s.HotArrays(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("HotArrays(1) = %v, want [2]", got)
+	}
+	// An array wholly homed at this PE (non-distributed, allocated here)
+	// outranks every cached array: its reads are free shard hits.
+	hd, _ := NewHeader(4, "D", []int{4}, 8, 2, 1, false)
+	_ = s.Install(hd)
+	got = s.HotArrays(4)
+	if len(got) != 4 || got[0] != 4 {
+		t.Fatalf("HotArrays = %v, want the home-owned array 4 ranked first", got)
+	}
+}
+
 func TestFilledAndPendingCounters(t *testing.T) {
 	h, _ := NewHeader(1, "A", []int{8}, 8, 1, 0, true)
 	s := NewShard(0)

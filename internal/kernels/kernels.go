@@ -164,6 +164,36 @@ func main(n: int) {
 }
 `
 
+// Triread is the triangular kernel with remote operand reads: row i of the
+// lower-triangular update accumulates over row i of a producer array X, so
+// a stolen row task drags its operand row across the machine — the
+// workload that makes steal locality measurable. Under static partitioning
+// X and A split identically, so a row's reads are local until the row
+// migrates; after a steal they probe the thief's page cache, and because
+// adjacent rows share straddling pages (rows are not page-aligned), a
+// batched grant of neighbouring rows pays fewer page fetches than the same
+// rows scattered one-per-victim across the thieves.
+const Triread = `
+func main(n: int) {
+	X = array(n, n);
+	for p = 1 to n {
+		for q = 1 to n {
+			X[p, q] = sqrt(float(p * 31 + q));
+		}
+	}
+	A = array(n, n);
+	for i = 1 to n {
+		for j = 1 to i {
+			s = 0.0;
+			for k = 1 to j {
+				next s = s + X[i, k];
+			}
+			A[i, j] = s * 0.5;
+		}
+	}
+}
+`
+
 // Relax is an iterative triangular relaxation whose optimal Range-Filter
 // split drifts across sweeps — the workload adaptive repartitioning is
 // for. One array W holds sweeps+1 grid versions side by side in its
@@ -222,6 +252,7 @@ func All() []Kernel {
 		{Name: "pipeline", Source: Pipeline, Args: intArg, Arrays: []string{"A", "B", "R"}},
 		{Name: "mirror", Source: Mirror, Args: intArg, Arrays: []string{"A", "B"}},
 		{Name: "triangular", Source: Triangular, Args: intArg, Arrays: []string{"A"}},
+		{Name: "triread", Source: Triread, Args: intArg, Arrays: []string{"X", "A"}},
 		{Name: "relax", Source: Relax,
 			Args:   func(n int) []isa.Value { return []isa.Value{isa.Int(int64(n)), isa.Int(4)} },
 			Arrays: []string{"W"}},
