@@ -15,6 +15,13 @@
 //	podsd -pes 4 -args 16 prog.id                                # in-process
 //	podsd -workers 127.0.0.1:7101,127.0.0.1:7102 -args 16 prog.id  # TCP
 //	podsd -builtin matmul -pes 8 -args 12 -dump C
+//
+// With -spares, a TCP driver survives worker deaths: a dead PE is fenced
+// behind a fresh incarnation, re-homed onto the next spare address, and
+// its assignments are replayed — single assignment makes the re-execution
+// idempotent, so the results are bit-identical to an undisturbed run:
+//
+//	podsd -workers w1:7101,w2:7101 -spares w3:7101 -builtin relax -args 16,8
 package main
 
 import (
@@ -45,6 +52,8 @@ func run(argv []string) error {
 	worker := fs.Bool("worker", false, "run as a TCP worker PE (serves one run, then exits)")
 	listen := fs.String("listen", "127.0.0.1:0", "worker listen address")
 	workers := fs.String("workers", "", "comma-separated worker addresses (driver mode; empty = in-process)")
+	spares := fs.String("spares", "", "comma-separated standby worker addresses a recovery can re-home a dead PE onto (implies -recover)")
+	recoverFlag := fs.Bool("recover", false, "survive worker deaths by respawn + single-assignment replay instead of failing the run")
 	pes := fs.Int("pes", 0, "number of in-process worker PEs (default 4)")
 	argsFlag := fs.String("args", "", "comma-separated integer arguments for main")
 	builtin := fs.String("builtin", "", "run a built-in kernel: matmul | heat | pipeline | mirror | triangular | triread | relax")
@@ -111,9 +120,13 @@ func run(argv []string) error {
 	}
 
 	cfg := cluster.Config{NumPEs: *pes, PageElems: *pageElems, CachePages: *cachePages,
-		Steal: *steal, Adapt: *adapt, Latency: *latency}
+		Steal: *steal, Adapt: *adapt, Latency: *latency, Recover: *recoverFlag}
 	if *workers != "" {
 		cfg.Workers = strings.Split(*workers, ",")
+	}
+	if *spares != "" {
+		cfg.Spares = strings.Split(*spares, ",")
+		cfg.Recover = true
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -130,9 +143,9 @@ func run(argv []string) error {
 	}
 	n := res.NumPEs
 	st := res.Stats
-	fmt.Printf("%s on %d PEs (%s): %.3f ms wall, %d msgs, %d deferred reads, %d/%d cache hits/misses, %d/%d evictions/refetches, %d steals, %d forwards, %d rebounds\n",
+	fmt.Printf("%s on %d PEs (%s): %.3f ms wall, %d msgs, %d deferred reads, %d/%d cache hits/misses, %d/%d evictions/refetches, %d steals, %d forwards, %d rebounds, %d recoveries, %d replayed\n",
 		name, n, transport, float64(wall.Microseconds())/1000, st.MsgsSent, st.DeferredReads, st.CacheHits, st.CacheMisses,
-		st.Evictions, st.Refetches, st.Steals, st.Forwards, st.Rebounds)
+		st.Evictions, st.Refetches, st.Steals, st.Forwards, st.Rebounds, st.Recoveries, st.ReplayedSPs)
 	if res.Value != nil {
 		fmt.Printf("result: %s\n", res.Value)
 	}

@@ -72,6 +72,15 @@ func TestMsgCodecRoundTrip(t *testing.T) {
 		{Kind: KCostReport, Tmpl: 6, Sweep: packID(3, 4),
 			Iters: []int64{1, 2, 5}, Costs: []int64{10, 20, 50}},
 		{Kind: KRebound, Tmpl: 6, Cuts: []int64{4, 9, 13}},
+		{Kind: KToken, From: 2, Epoch: 3, Inc: 1, SP: packIncID(1, 1, 9), Slot: 2, Val: isa.Int(5)},
+		{Kind: KSpawnLog, From: 1, Inc: 2, Tmpl: 6, Sweep: packIncID(1, 2, 3),
+			Args: []isa.Value{isa.Int(8)}, Cuts: []int64{3, 7, 11}},
+		{Kind: KRecover, Epoch: 2, Incs: []int32{0, 1, 0, 2}, Peers: []string{"a:1", "s:9"}},
+		{Kind: KInit, PE: 3, NumPEs: 4, Epoch: 1, Recover: true, Incs: []int32{0, 0, 0, 1},
+			Peers: []string{"a:1"}, Prog: []byte("p")},
+		{Kind: KStealDone, From: 2, SP: packIncID(0, 0, 4)},
+		{Kind: KFlush, From: 1, Epoch: 2, Inc: 1},
+		{Kind: KAck, Round: 3, Epoch: 1, Sent: 4, Recv: 4, Replayed: 2, Flushed: true},
 	}
 	for _, m := range msgs {
 		b := encodeMsg(nil, m)
@@ -103,6 +112,15 @@ func TestIDPacking(t *testing.T) {
 	}
 	if peOf(0) != -1 {
 		t.Errorf("peOf(0) = %d, want -1 (driver environment)", peOf(0))
+	}
+	for _, inc := range []int32{0, 1, 7, 255} {
+		id := packIncID(3, inc, 99)
+		if got := incOf(id); got != inc {
+			t.Errorf("incOf(packIncID(3, %d, 99)) = %d", inc, got)
+		}
+		if got := peOf(id); got != 3 {
+			t.Errorf("peOf(packIncID(3, %d, 99)) = %d, want 3", inc, got)
+		}
 	}
 }
 

@@ -77,8 +77,41 @@ type Config struct {
 	// would otherwise leave ExecuteCluster hanging silently until its
 	// context expires; when a round exceeds this deadline the run fails
 	// with each PE's last-ack state (round, live SPs, message counters)
-	// instead. Defaults to 30s; negative disables the deadline.
+	// instead — or, with Recover set, respawns and replays the silent PEs.
+	// Defaults to 30s; negative disables the deadline.
 	RoundTimeout time.Duration
+
+	// Recover makes the driver survive worker deaths instead of failing
+	// the run: the dead PE is fenced behind a fresh incarnation number,
+	// respawned (a new goroutine on the channel transport; the next Spares
+	// address on TCP), and its root SPAWND assignments are replayed
+	// against the surviving shards — sound because single assignment makes
+	// re-execution idempotent. Off by default: recovery costs write/grant
+	// logging on every worker while it is armed.
+	Recover bool
+
+	// Spares lists standby TCP worker addresses (each running
+	// `podsd -worker`) a recovery may re-home a dead PE onto. Only
+	// meaningful with Workers and Recover set; each recovery consumes one
+	// spare.
+	Spares []string
+
+	// KillPE / KillAfter arm the channel transport's deterministic fault
+	// injector: PE KillPE's endpoint is severed — sends dropped, receives
+	// closed, a down notice surfaced to the driver — the moment it has
+	// sent KillAfter frames (data frames and probe acks count; both stop
+	// at termination, so the kill always lands mid-run and never in the
+	// gather phase, whose finished results are unrecoverable). KillAfter 0
+	// (the default) disarms it; a KillPE
+	// outside [0, NumPEs) never fires. Ignored on TCP, where faults are
+	// real (kill the worker process). The PODS_FORCE_KILL_PE environment
+	// variable (a PE index, with PODS_FORCE_KILL_AFTER optionally
+	// overriding the default of 8 frames) arms it for runs that leave
+	// these fields zero and forces Recover on, so a CI leg can run the
+	// whole test matrix with a worker dying mid-run in every cluster
+	// execution.
+	KillPE    int
+	KillAfter int64
 }
 
 // fill applies the shared backend defaults and validates the result.
@@ -117,7 +150,43 @@ func (c *Config) fill() error {
 			c.CachePages = cap
 		}
 	}
+	if len(c.Spares) > 0 && len(c.Workers) == 0 {
+		return fmt.Errorf("cluster: %d spare addresses without TCP workers", len(c.Spares))
+	}
+	if c.KillAfter < 0 {
+		return fmt.Errorf("cluster: negative KillAfter %d", c.KillAfter)
+	}
+	if c.KillAfter == 0 && len(c.Workers) == 0 {
+		if pe, after, ok := ForceKillFromEnv(); ok {
+			c.KillPE, c.KillAfter = pe, after
+			c.Recover = true
+		}
+	}
 	return nil
+}
+
+// ForceKillFromEnv reports the PODS_FORCE_KILL_PE override: the PE index
+// to fault-inject, with PODS_FORCE_KILL_AFTER optionally overriding the
+// default budget of 8 worker-to-worker frames. Exported so tests that
+// depend on fault injection being genuinely off can check the exact
+// condition fill applies.
+func ForceKillFromEnv() (pe int, after int64, ok bool) {
+	v := os.Getenv("PODS_FORCE_KILL_PE")
+	if v == "" {
+		return 0, 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, 0, false
+	}
+	after = 8
+	if av := os.Getenv("PODS_FORCE_KILL_AFTER"); av != "" {
+		an, err := strconv.ParseInt(av, 10, 64)
+		if err == nil && an > 0 {
+			after = an
+		}
+	}
+	return n, after, true
 }
 
 // ForceStealFromEnv reports whether the PODS_FORCE_STEAL environment

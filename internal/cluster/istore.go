@@ -13,6 +13,19 @@ import (
 // and the owner answers reads with whole-page shipments (KPage) or queues
 // them as remote deferred reads released by the eventual write (§4, §5.1).
 
+// allocMsg builds one KAlloc frame describing h — the single definition of
+// the alloc broadcast's wire shape, shared by the original broadcast and
+// both replay paths (worker and driver). Each call returns a fresh message
+// with its own slices: a sent Msg is receiver-owned.
+func allocMsg(h *istructure.Header) *Msg {
+	dims := make([]int32, len(h.Dims))
+	for i, d := range h.Dims {
+		dims[i] = int32(d)
+	}
+	return &Msg{Kind: KAlloc, Arr: h.ID, Name: h.Name, Dims: dims,
+		Origin: int32(h.Origin), Dist: h.Dist}
+}
+
 // execAlloc implements ALLOC/ALLOCD: build the header, install the local
 // segment, broadcast the header to every other PE and the driver, and hand
 // the array ID to the allocating SP.
@@ -24,7 +37,7 @@ func (w *worker) execAlloc(sp *spInst, ins *isa.Instr) {
 		elems *= dims[i]
 	}
 	w.nextArr++
-	id := packID(w.pe, w.nextArr)
+	id := packIncID(w.pe, w.inc, w.nextArr)
 	name := ins.Comment
 	if name == "" {
 		name = fmt.Sprintf("anon%d", id)
@@ -36,22 +49,14 @@ func (w *worker) execAlloc(sp *spInst, ins *isa.Instr) {
 		return
 	}
 	w.installArray(h)
-	wireDims := make([]int32, len(dims))
-	for i, d := range dims {
-		wireDims[i] = int32(d)
+	if w.recover {
+		w.allocLog = append(w.allocLog, h)
 	}
 	for pe := 0; pe <= w.n; pe++ { // every other worker, plus the driver
 		if pe == w.pe {
 			continue
 		}
-		w.send(pe, &Msg{
-			Kind:   KAlloc,
-			Arr:    id,
-			Name:   name,
-			Dims:   append([]int32(nil), wireDims...),
-			Origin: int32(w.pe),
-			Dist:   dist,
-		})
+		w.send(pe, allocMsg(h))
 	}
 	sp.set(ins.Dst, isa.Array(id))
 }
@@ -134,6 +139,12 @@ func (w *worker) execRead(sp *spInst, ins *isa.Instr) (suspended bool) {
 		return false
 	}
 	w.shard.CacheMisses++
+	if w.recover {
+		// Track the in-flight read so it can be re-issued if the owner is
+		// respawned before answering (the entry clears on delivery).
+		w.outReads[outReadKey{sp: sp.id, slot: int32(ins.Dst)}] =
+			outRead{arr: h.ID, off: int32(off), owner: owner}
+	}
 	w.send(owner, &Msg{
 		Kind:  KReadReq,
 		Arr:   h.ID,
@@ -162,6 +173,12 @@ func (w *worker) execWrite(sp *spInst, ins *isa.Instr) (suspended bool) {
 	if owner == w.pe {
 		w.ownerWrite(h.ID, off, val)
 		return false
+	}
+	if w.recover {
+		// Log the remote write: if the owner is respawned with an empty
+		// shard, the log replays and the single-assignment store absorbs
+		// any overlap with re-executed work idempotently.
+		w.writeLog[owner] = append(w.writeLog[owner], writeRec{arr: h.ID, off: int32(off), val: val})
 	}
 	w.send(owner, &Msg{Kind: KWrite, Arr: h.ID, Off: int32(off), Val: val})
 	return false

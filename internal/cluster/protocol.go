@@ -120,6 +120,47 @@ const (
 	// bounds onto the spawn messages, so every copy of one sweep sees one
 	// consistent partition no matter when the rebound arrived.
 	KRebound
+
+	// KSpawnLog records one SPAWND fan-out with the driver (Tmpl, Args,
+	// Sweep, and the Cuts that stamped it). Sent by the spawner before the
+	// fan-out itself when recovery is enabled, so the driver can replay a
+	// dead PE's root assignments against a replacement worker. Driver
+	// control-plane: invisible to the four-counter sums.
+	KSpawnLog
+
+	// KRecover announces a completed recovery to the surviving workers:
+	// Epoch is the new counting epoch, Incs the full per-PE incarnation
+	// vector (a PE whose incarnation grew was respawned), and Peers the
+	// updated worker address list (TCP — the dead PE's slot now names its
+	// spare). Survivors zero their termination counters, fence the dead
+	// incarnations, repoint the transport, and replay their share of the
+	// lost state: logged remote writes, outstanding remote reads, and
+	// steal grants made to the dead incarnation.
+	KRecover
+
+	// KDown reports a dead worker to the driver: PE names it, Inc the
+	// incarnation that died. It is synthesized locally — by the channel
+	// transport's fault injector and by the TCP driver's connection pumps —
+	// and never crosses a wire, so a worker death is detected at
+	// connection-loss speed instead of waiting out a probe-round deadline.
+	KDown
+
+	// KStealDone tells the grantor of a stolen SP that it ran to completion
+	// on the thief (SP names the home ID). Each hop of a steal chain drops
+	// its forwarding stub and grant record and relays the notice toward the
+	// home PE, so a later recovery does not re-instantiate work that
+	// already finished. Sent only when recovery is enabled; control-plane.
+	KStealDone
+
+	// KFlush is an epoch flush marker: a worker that adopts a new counting
+	// epoch sends one to every peer (after repointing at the replacement
+	// addresses). Per-pair FIFO puts the marker behind every frame the
+	// sender emitted in older epochs, so once a worker holds markers from
+	// all peers, no pre-epoch frame — invisible to the new epoch's
+	// four-counter sums — can still be in flight toward it; the detector
+	// requires exactly that (the ack's Flushed bit) before it will declare
+	// termination. Control-plane.
+	KFlush
 )
 
 func (k MsgKind) String() string {
@@ -160,6 +201,16 @@ func (k MsgKind) String() string {
 		return "costReport"
 	case KRebound:
 		return "rebound"
+	case KSpawnLog:
+		return "spawnLog"
+	case KRecover:
+		return "recover"
+	case KDown:
+		return "down"
+	case KStealDone:
+		return "stealDone"
+	case KFlush:
+		return "flush"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(k))
 	}
@@ -192,6 +243,13 @@ type Msg struct {
 	Dist   bool
 	ReqPE  int32
 
+	// Failure recovery (every kind). Epoch is the sender's counting epoch
+	// (bumped by one per recovery event); Inc is the sender's incarnation,
+	// checked against the receiver's incarnation vector so frames from a
+	// dead PE's previous life are dropped at the boundary.
+	Epoch int32
+	Inc   int32
+
 	// Termination detection (probe, ack).
 	Round      int32
 	Sent, Recv int64
@@ -204,6 +262,8 @@ type Msg struct {
 	Instrs     int64 // instructions executed by this worker (ack)
 	Evicts     int64 // cached pages evicted by the cache bound (ack)
 	Refetches  int64 // previously evicted pages fetched again (ack)
+	Replayed   int64 // SPs re-sent or re-instantiated for replacements (ack)
+	Flushed    bool  // epoch flush markers held from every peer (ack)
 
 	// Adaptive repartitioning (spawn, costReport, rebound). A migrating
 	// SP's cost tag travels per StealItem in the grant batch.
@@ -219,7 +279,10 @@ type Msg struct {
 	Hot   []int64     // thief's hot-array summary (stealReq)
 	Batch []StealItem // granted SP instances, locality-preferred order (stealGrant)
 
-	// Worker configuration (init).
+	// Worker configuration (init) and recovery announcements (recover).
+	// Incs is the full per-PE incarnation vector; Recover enables the
+	// worker-side recovery machinery (write logging, grant logging,
+	// idempotent rewrites).
 	PE            int32
 	NumPEs        int32
 	PageElems     int32
@@ -227,6 +290,8 @@ type Msg struct {
 	CachePages    int32
 	Steal         bool
 	Adapt         bool
+	Recover       bool
+	Incs          []int32
 	Peers         []string
 	Prog          []byte
 }
@@ -252,7 +317,18 @@ type StealItem struct {
 // kinds (tokens, writes, pages) ~50 always-zero bytes per frame.
 func (k MsgKind) hasAdaptBlock() bool {
 	switch k {
-	case KSpawn, KCostReport, KRebound:
+	case KSpawn, KCostReport, KRebound, KSpawnLog:
+		return true
+	}
+	return false
+}
+
+// hasRecoverBlock reports whether the kind carries the recovery
+// configuration fields (Recover, Incs) on the wire, gated like the other
+// blocks so data frames stay free of them.
+func (k MsgKind) hasRecoverBlock() bool {
+	switch k {
+	case KInit, KRecover:
 		return true
 	}
 	return false
@@ -363,6 +439,8 @@ func encodeMsg(b []byte, m *Msg) []byte {
 		b = append(b, 0)
 	}
 	b = appendI32(b, m.ReqPE)
+	b = appendI32(b, m.Epoch)
+	b = appendI32(b, m.Inc)
 	b = appendI32(b, m.Round)
 	if m.Kind.hasStatsBlock() {
 		b = appendI64(b, m.Sent)
@@ -376,6 +454,12 @@ func encodeMsg(b []byte, m *Msg) []byte {
 		b = appendI64(b, m.Instrs)
 		b = appendI64(b, m.Evicts)
 		b = appendI64(b, m.Refetches)
+		b = appendI64(b, m.Replayed)
+		if m.Flushed {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
 	}
 	if m.Kind.hasAdaptBlock() {
 		b = appendI64(b, m.Sweep)
@@ -428,6 +512,17 @@ func encodeMsg(b []byte, m *Msg) []byte {
 		b = append(b, 1)
 	} else {
 		b = append(b, 0)
+	}
+	if m.Kind.hasRecoverBlock() {
+		if m.Recover {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendU32(b, uint32(len(m.Incs)))
+		for _, v := range m.Incs {
+			b = appendI32(b, v)
+		}
 	}
 	b = appendU32(b, uint32(len(m.Peers)))
 	for _, p := range m.Peers {
@@ -562,6 +657,8 @@ func decodeMsg(b []byte) (*Msg, error) {
 	m.Origin = r.i32()
 	m.Dist = r.u8() != 0
 	m.ReqPE = r.i32()
+	m.Epoch = r.i32()
+	m.Inc = r.i32()
 	m.Round = r.i32()
 	if m.Kind.hasStatsBlock() {
 		m.Sent = r.i64()
@@ -575,6 +672,8 @@ func decodeMsg(b []byte) (*Msg, error) {
 		m.Instrs = r.i64()
 		m.Evicts = r.i64()
 		m.Refetches = r.i64()
+		m.Replayed = r.i64()
+		m.Flushed = r.u8() != 0
 	}
 	if m.Kind.hasAdaptBlock() {
 		m.Sweep = r.i64()
@@ -620,6 +719,15 @@ func decodeMsg(b []byte) (*Msg, error) {
 	m.CachePages = r.i32()
 	m.Steal = r.u8() != 0
 	m.Adapt = r.u8() != 0
+	if m.Kind.hasRecoverBlock() {
+		m.Recover = r.u8() != 0
+		if n := r.sliceLen(4); n > 0 {
+			m.Incs = make([]int32, n)
+			for i := range m.Incs {
+				m.Incs[i] = r.i32()
+			}
+		}
+	}
 	if n := r.sliceLen(4); n > 0 {
 		m.Peers = make([]string, n)
 		for i := range m.Peers {
@@ -638,12 +746,27 @@ func decodeMsg(b []byte) (*Msg, error) {
 // ID packing: SP instances and arrays are identified by globally unique
 // 64-bit IDs allocated without coordination — the owning PE index (+1, so
 // the driver's environment instance keeps ID 0) lives in the high bits and
-// a per-PE sequence number in the low bits.
+// a per-PE sequence number in the low bits. The top byte of the sequence
+// field carries the minting worker's incarnation, so a replacement worker's
+// IDs can never collide with — and are distinguishable from — its dead
+// predecessor's: a token that arrives at a PE for a local ID minted by an
+// earlier incarnation is provably stale and is dropped, not failed.
 
-const peShift = 40
+const (
+	peShift  = 40
+	incShift = 32
+)
 
 func packID(pe int, seq int64) int64 { return int64(pe+1)<<peShift | seq }
+
+// packIncID mints an ID under a specific incarnation.
+func packIncID(pe int, inc int32, seq int64) int64 {
+	return packID(pe, int64(inc)<<incShift|seq)
+}
 
 // peOf recovers the owning PE from a packed ID; ID 0 (the driver
 // environment) returns -1.
 func peOf(id int64) int { return int(id>>peShift) - 1 }
+
+// incOf recovers the minting incarnation from a packed ID.
+func incOf(id int64) int32 { return int32(id>>incShift) & 0xff }

@@ -23,6 +23,8 @@ type Stats struct {
 	Steals        int64 // SP instances migrated by work stealing
 	Forwards      int64 // tokens relayed through forwarding stubs
 	Rebounds      int64 // adaptive Range-Filter cut broadcasts (Config.Adapt)
+	Recoveries    int64 // worker deaths survived by respawn + replay (Config.Recover)
+	ReplayedSPs   int64 // root assignments replayed against replacement workers
 }
 
 // gathered is one assembled array after a run.
@@ -113,43 +115,69 @@ func Execute(ctx context.Context, prog *isa.Program, cfg Config, args ...isa.Val
 	}
 
 	if len(cfg.Workers) > 0 {
-		ep, cleanup, err := dialWorkers(ctx, cfg, prog)
+		ep, rsp, cleanup, err := dialWorkers(ctx, cfg, prog)
 		if err != nil {
 			return nil, err
 		}
 		defer cleanup()
-		return drive(ctx, ep, cfg, entry, args)
+		return drive(ctx, ep, cfg, entry, args, rsp)
 	}
 
 	// In-process channel transport: one goroutine per PE, zero shared
 	// program state — the workers communicate only through their
-	// endpoints.
-	eps := newChanTransport(cfg.NumPEs, cfg.Latency)
+	// endpoints. With fault injection armed (Config.KillPE/KillAfter) the
+	// transport severs the doomed PE's endpoint mid-run; with recovery
+	// enabled the respawner brings replacements up on fresh mailboxes.
+	killPE := -1
+	if cfg.KillAfter > 0 && cfg.KillPE >= 0 && cfg.KillPE < cfg.NumPEs {
+		killPE = cfg.KillPE
+	}
+	cnet := newChanNet(cfg.NumPEs, cfg.Latency, killPE, cfg.KillAfter)
+	eps := make([]Endpoint, cfg.NumPEs+1)
+	for i := range eps {
+		eps[i] = cnet.endpoint(i)
+	}
 	geo := rtcfg.Geometry{PEs: cfg.NumPEs, PageElems: cfg.PageElems, DistThreshold: cfg.DistThreshold}
 	var wg sync.WaitGroup
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	for pe := 0; pe < cfg.NumPEs; pe++ {
 		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], cfg.Steal, cfg.Adapt, cfg.CachePages)
+		if cfg.Recover {
+			w.enableRecovery(0, 0, nil)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			w.run(wctx)
 		}()
 	}
-	res, err := drive(ctx, eps[cfg.NumPEs], cfg, entry, args)
+	var rsp respawner
+	var crsp *chanRespawner
+	if cfg.Recover {
+		crsp = &chanRespawner{t: cnet, cfg: cfg, geo: geo, prog: prog, wg: &wg, ctx: wctx}
+		rsp = crsp
+	}
+	res, err := drive(ctx, eps[cfg.NumPEs], cfg, entry, args, rsp)
 	cancel()
 	wg.Wait()
 	for _, ep := range eps {
 		ep.Close()
+	}
+	if crsp != nil {
+		for _, ep := range crsp.eps {
+			ep.Close()
+		}
 	}
 	return res, err
 }
 
 // drive is the driver loop: spawn the entry SP on PE 0, then alternate
 // between handling worker messages and termination probes; on termination,
-// gather every array and stop the workers.
-func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, args []isa.Value) (*Result, error) {
+// gather every array and stop the workers. rsp, when non-nil and
+// cfg.Recover is set, lets the driver survive worker deaths by respawning
+// and replaying them instead of failing the run.
+func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, args []isa.Value, rsp respawner) (*Result, error) {
 	n := cfg.NumPEs
 	res := &Result{
 		NumPEs: n,
@@ -158,22 +186,31 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	}
 	det := newDetector(n)
 	ad := newAdaptCoord(n)
+	rec := newRecovery(n, cfg.Recover, rsp)
+	rec.peers = append([]string(nil), cfg.Workers...)
 	stopAll := func() {
 		for pe := 0; pe < n; pe++ {
 			_ = ep.Send(pe, &Msg{Kind: KStop})
 		}
 	}
 
+	rec.logEntry(int32(entry.ID), args)
 	if err := ep.Send(0, &Msg{Kind: KSpawn, Tmpl: int32(entry.ID), Args: args}); err != nil {
 		return nil, err
 	}
 
 	// handle processes one driver-bound message; it returns an error for
-	// KFail and flags round completion for KAck.
+	// KFail and flags round completion for KAck. A frame from a dead
+	// incarnation is dropped whole, and a KDown notice queues its PE for
+	// recovery (or fails the run when recovery is off).
 	round := int32(0)
 	roundComplete := false
 	probeReset := false
+	var down []int
 	handle := func(m *Msg) error {
+		if rec.fenced(m) {
+			return nil
+		}
 		switch m.Kind {
 		case KToken:
 			val := m.Val
@@ -204,6 +241,13 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			if ad.merge(m, round) {
 				probeReset = true
 			}
+		case KSpawnLog:
+			rec.logFanout(m)
+		case KDown:
+			if !rec.enabled {
+				return fmt.Errorf("cluster: worker %d died mid-run (transport closed); set Config.Recover (and Spares, on TCP) to survive worker failures", m.PE)
+			}
+			down = append(down, int(m.PE))
 		case KDump:
 			g := res.arrays[m.Arr]
 			if g == nil {
@@ -226,6 +270,21 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	// is imminent and must not wait tens of sweep-lengths for the next
 	// round, while a run whose sweeps have stopped arriving (or that
 	// never rebinds at all) pays no lasting probe overhead.
+	// recoverNow survives the deaths collected in `down`: respawn, announce,
+	// replay, then restart the detector and adapt coordinator in the new
+	// epoch (their accumulated state mixes incarnations and counting
+	// epochs, and replay regenerates the observations that still matter).
+	recoverNow := func() error {
+		dead := down
+		down = nil
+		if err := rec.perform(ep, dead, res); err != nil {
+			return err
+		}
+		det.reset(rec.epoch)
+		ad = newAdaptCoord(n)
+		return nil
+	}
+
 	interval := cfg.ProbeInterval
 	maxInterval := 50 * cfg.ProbeInterval
 	for {
@@ -234,20 +293,32 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 		det.begin(round)
 		for pe := 0; pe < n; pe++ {
 			if err := ep.Send(pe, &Msg{Kind: KProbe, Round: round}); err != nil {
+				// A probe bouncing off a dead connection is a death notice
+				// in its own right; recover it like one when possible.
+				if rec.enabled {
+					down = append(down, pe)
+					continue
+				}
 				stopAll()
 				return nil, err
 			}
 		}
 		// The round deadline turns a dead or wedged worker into a
-		// diagnosable failure. It re-arms on every received message, so it
-		// measures genuine silence — no driver-bound traffic at all for
-		// the whole timeout while the round stays open, meaning some PE
-		// will never answer — and can never trip a slow-but-progressing
-		// phase. On expiry the run fails with each PE's last-ack state
+		// diagnosable failure — or, with recovery enabled, into a recovery:
+		// the PEs that never acked the round are respawned and replayed.
+		// The deadline re-arms on every received message, so it measures
+		// genuine silence — no driver-bound traffic at all for the whole
+		// timeout while the round stays open, meaning some PE will never
+		// answer — and can never trip a slow-but-progressing phase. Without
+		// recovery, expiry fails the run with each PE's last-ack state
 		// instead of hanging until the run context expires.
-		for !roundComplete {
+		for !roundComplete && len(down) == 0 {
 			m, stalled, err := recvStallGuarded(ctx, ep, cfg.RoundTimeout)
 			if err != nil {
+				if stalled && rec.enabled {
+					down = det.unacked()
+					break
+				}
 				stopAll()
 				if stalled {
 					return nil, fmt.Errorf("cluster: probe round %d stalled for %v (worker dead or wedged?): %s",
@@ -260,21 +331,46 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 				return nil, herr
 			}
 		}
+		if len(down) > 0 {
+			if err := recoverNow(); err != nil {
+				stopAll()
+				return nil, err
+			}
+			// The disturbed round proves nothing; probe tightly again while
+			// the replacements replay.
+			interval = cfg.ProbeInterval
+			continue
+		}
 		if det.roundDone() {
 			break
 		}
 		// Rebind check at the round boundary: every worker has flushed its
 		// cost observations at least once this round (the flush precedes
 		// the ack on the same FIFO stream), so the coordinator's view is as
-		// fresh as the round itself.
+		// fresh as the round itself. A broadcast bouncing off a dead
+		// connection is a death notice like a failed probe: recover it when
+		// possible (losing the rebind itself is harmless — the coordinator
+		// restarts and replans).
 		for _, rb := range ad.tick(round) {
 			for pe := 0; pe < n; pe++ {
 				m := &Msg{Kind: KRebound, Tmpl: rb.tmpl, Cuts: append([]int64(nil), rb.cuts...)}
 				if err := ep.Send(pe, m); err != nil {
+					if rec.enabled {
+						down = append(down, pe)
+						continue
+					}
 					stopAll()
 					return nil, err
 				}
 			}
+		}
+		if len(down) > 0 {
+			if err := recoverNow(); err != nil {
+				stopAll()
+				return nil, err
+			}
+			interval = cfg.ProbeInterval
+			continue
 		}
 		select {
 		case <-time.After(interval):
@@ -291,6 +387,8 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	}
 	res.Stats = det.stats()
 	res.Stats.Rebounds = ad.rebounds
+	res.Stats.Recoveries = rec.recoveries
+	res.Stats.ReplayedSPs += rec.replayed
 	res.PEInstrs = det.perPEInstrs()
 
 	// Gather: ask each owning PE for its segment of every array.
@@ -312,7 +410,9 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	// round: a worker dying between the final quiet round and its
 	// KDumpReq would otherwise hang the driver here just as silently as a
 	// mid-round death would above, while a large gather that keeps making
-	// progress can take as long as it needs.
+	// progress can take as long as it needs. Recovery does not extend past
+	// termination: a worker dying *here* lost finished results, not
+	// re-runnable work, so the run fails with diagnostics instead.
 	for expect > 0 {
 		m, stalled, err := recvStallGuarded(ctx, ep, cfg.RoundTimeout)
 		if err != nil {
@@ -323,12 +423,19 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			}
 			return nil, fmt.Errorf("cluster: gathering results: %w", err)
 		}
+		if rec.fenced(m) {
+			continue
+		}
 		if m.Kind == KDump {
 			expect--
 		}
 		if herr := handle(m); herr != nil {
 			stopAll()
 			return nil, herr
+		}
+		if len(down) > 0 {
+			stopAll()
+			return nil, fmt.Errorf("cluster: worker %d died during result gather (its finished segments are lost)", down[0])
 		}
 	}
 	stopAll()

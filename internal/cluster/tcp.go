@@ -59,13 +59,18 @@ func readFrame(conn net.Conn) (*Msg, error) {
 
 // pump reads frames from conn into box until EOF or error. onInit, when
 // non-nil, observes KInit messages (the worker uses it to learn its driver
-// connection). Decode errors surface as synthetic KFail messages so the
-// endpoint's owner can abort cleanly.
+// connection). Decode errors (corrupt frames) surface as synthetic KFail
+// messages so the endpoint's owner can abort cleanly; connection-level
+// errors (EOF, reset, close) are connection *loss*, which the owner
+// detects through its own means — the driver's per-conn wrapper
+// synthesizes a KDown, a worker sees its driver stream close.
 func pump(conn net.Conn, box *mailbox, onInit func(net.Conn)) {
 	for {
 		m, err := readFrame(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			var ne net.Error
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) && !errors.As(err, &ne) {
 				box.put(&Msg{Kind: KFail, Name: fmt.Sprintf("transport: %v", err)})
 			}
 			return
@@ -108,49 +113,109 @@ func (d *tcpDriver) Close() error {
 }
 
 // dialWorkers connects to cfg.Workers, ships each its KInit (geometry, peer
-// list, program), and returns the driver endpoint.
-func dialWorkers(ctx context.Context, cfg Config, prog *isa.Program) (Endpoint, func(), error) {
+// list, program), and returns the driver endpoint plus — when cfg.Recover
+// and spare addresses are configured — a respawner that re-homes a dead PE
+// onto a spare `podsd -worker`.
+func dialWorkers(ctx context.Context, cfg Config, prog *isa.Program) (Endpoint, respawner, func(), error) {
 	progBytes, err := isa.MarshalPods(prog)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	n := len(cfg.Workers)
 	d := &tcpDriver{self: n, box: newMailbox()}
+	rsp := &tcpRespawner{ctx: ctx, d: d, cfg: cfg, prog: progBytes,
+		workers: append([]string(nil), cfg.Workers...),
+		spares:  append([]string(nil), cfg.Spares...)}
 	var dialer net.Dialer
 	for i, addr := range cfg.Workers {
 		conn, err := dialer.DialContext(ctx, "tcp", addr)
 		if err != nil {
 			d.Close()
-			return nil, nil, fmt.Errorf("cluster: dialing worker %d at %s: %w", i, addr, err)
+			return nil, nil, nil, fmt.Errorf("cluster: dialing worker %d at %s: %w", i, addr, err)
 		}
 		d.conns = append(d.conns, conn)
-		init := &Msg{
-			Kind:          KInit,
-			From:          int32(n),
-			PE:            int32(i),
-			NumPEs:        int32(n),
-			PageElems:     int32(cfg.PageElems),
-			DistThreshold: int32(cfg.DistThreshold),
-			CachePages:    int32(cfg.CachePages),
-			Steal:         cfg.Steal,
-			Adapt:         cfg.Adapt,
-			Peers:         cfg.Workers,
-			Prog:          progBytes,
-		}
+		init := initMsg(&cfg, i, 0, make([]int32, n), cfg.Workers, progBytes)
 		if err := writeFrame(conn, init); err != nil {
 			d.Close()
-			return nil, nil, fmt.Errorf("cluster: configuring worker %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("cluster: configuring worker %d: %w", i, err)
 		}
-		go func(i int, conn net.Conn) {
-			pump(conn, d.box, nil)
-			// A worker connection dropping mid-run would otherwise leave
-			// the driver polling probes until its context expires; surface
-			// it as a failure instead. After d.Close() the box is closed,
-			// so this put is a no-op during normal cleanup.
-			d.box.put(&Msg{Kind: KFail, Name: fmt.Sprintf("transport: worker %d connection closed", i)})
-		}(i, conn)
+		go pumpWorkerConn(d, i, 0, conn)
 	}
-	return d, func() { d.Close() }, nil
+	var r respawner
+	if cfg.Recover {
+		r = rsp
+	}
+	return d, r, func() { d.Close() }, nil
+}
+
+// initMsg builds the KInit frame configuring worker pe — the single
+// definition of the init wire shape, shared by the initial dial and the
+// spare re-homing path so original workers and replacements can never be
+// configured differently.
+func initMsg(cfg *Config, pe int, epoch int32, incs []int32, peers []string, prog []byte) *Msg {
+	n := len(peers)
+	return &Msg{
+		Kind:          KInit,
+		From:          int32(n),
+		PE:            int32(pe),
+		NumPEs:        int32(n),
+		PageElems:     int32(cfg.PageElems),
+		DistThreshold: int32(cfg.DistThreshold),
+		CachePages:    int32(cfg.CachePages),
+		Steal:         cfg.Steal,
+		Adapt:         cfg.Adapt,
+		Recover:       cfg.Recover,
+		Epoch:         epoch,
+		Incs:          incs,
+		Peers:         append([]string(nil), peers...),
+		Prog:          prog,
+	}
+}
+
+// pumpWorkerConn pumps one worker connection into the driver's mailbox and
+// synthesizes a KDown notice when it drops: a worker dying mid-run is
+// detected at connection-loss speed, and the notice carries the
+// incarnation the connection served so a replaced worker's teardown is
+// fenced instead of re-triggering recovery. After d.Close() the box is
+// closed, so the put is a no-op during normal cleanup.
+func pumpWorkerConn(d *tcpDriver, pe int, inc int32, conn net.Conn) {
+	pump(conn, d.box, nil)
+	d.box.put(&Msg{Kind: KDown, From: int32(pe), PE: int32(pe), Inc: inc})
+}
+
+// tcpRespawner re-homes a dead PE onto the next spare worker address.
+type tcpRespawner struct {
+	ctx     context.Context
+	d       *tcpDriver
+	cfg     Config
+	prog    []byte
+	workers []string
+	spares  []string
+}
+
+func (r *tcpRespawner) respawn(pe int, inc, epoch int32, incs []int32) ([]string, error) {
+	if len(r.spares) == 0 {
+		return nil, fmt.Errorf("no spare worker addresses left (Config.Spares)")
+	}
+	addr := r.spares[0]
+	r.spares = r.spares[1:]
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(r.ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dialing spare %s: %w", addr, err)
+	}
+	r.workers[pe] = addr
+	init := initMsg(&r.cfg, pe, epoch, incs, r.workers, r.prog)
+	if err := writeFrame(conn, init); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("configuring spare %s: %w", addr, err)
+	}
+	if old := r.d.conns[pe]; old != nil {
+		old.Close() // its pump's KDown carries the dead incarnation and is fenced
+	}
+	r.d.conns[pe] = conn
+	go pumpWorkerConn(r.d, pe, inc, conn)
+	return append([]string(nil), r.workers...), nil
 }
 
 // tcpWorker is a worker's endpoint: the accepted driver connection plus
@@ -189,6 +254,28 @@ func (t *tcpWorker) Send(to int, m *Msg) error {
 		t.dialed[to] = conn
 	}
 	return writeFrame(t.dialed[to], m)
+}
+
+// Repoint installs an updated peer address list after a recovery: a peer
+// whose address changed was replaced, so its cached connection (which may
+// point at the dead incarnation) is dropped and redialed lazily on the
+// next send.
+func (t *tcpWorker) Repoint(peers []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, addr := range peers {
+		if i >= t.n {
+			break
+		}
+		if t.peers[i] == addr {
+			continue
+		}
+		t.peers[i] = addr
+		if t.dialed[i] != nil {
+			t.dialed[i].Close()
+			t.dialed[i] = nil
+		}
+	}
 }
 
 func (t *tcpWorker) Recv(ctx context.Context) (*Msg, error) { return t.box.recv(ctx) }
@@ -289,6 +376,15 @@ func ServeWorker(ctx context.Context, ln net.Listener) error {
 		DistThreshold: int(init.DistThreshold),
 	}
 	w := newWorker(int(init.PE), t.n, geo, prog, t, init.Steal, init.Adapt, int(init.CachePages))
+	if init.Recover {
+		// A spare joining mid-run learns its own incarnation from the
+		// vector; an original worker starts at incarnation 0, epoch 0.
+		var inc int32
+		if int(init.PE) < len(init.Incs) {
+			inc = init.Incs[init.PE]
+		}
+		w.enableRecovery(inc, init.Epoch, init.Incs)
+	}
 	for _, m := range stash {
 		w.handle(m)
 	}

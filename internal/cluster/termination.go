@@ -31,6 +31,8 @@ type ackState struct {
 	instrs     int64
 	evicts     int64
 	refetches  int64
+	replayed   int64
+	flushed    bool
 }
 
 // detector accumulates probe rounds and decides termination.
@@ -46,6 +48,11 @@ type detector struct {
 	round int32
 	seen  []bool
 	got   int
+
+	// epoch is the counting epoch acks must belong to. A recovery bumps it
+	// (and every worker zeroes its counters on adoption), so an ack whose
+	// sums predate the recovery can never mix into the new epoch's totals.
+	epoch int32
 
 	// prev holds the previous complete round's sums; prevOK marks it as a
 	// candidate (all live == 0, sent == recv).
@@ -66,11 +73,12 @@ func (d *detector) begin(round int32) {
 	}
 }
 
-// record stores one ack; acks from any round other than the current one,
-// and repeated acks from the same PE within a round, are ignored. It
-// returns true when the round is complete (every PE answered once).
+// record stores one ack; acks from any round other than the current one
+// (or any counting epoch other than the current one), and repeated acks
+// from the same PE within a round, are ignored. It returns true when the
+// round is complete (every PE answered once).
 func (d *detector) record(pe int, m *Msg) bool {
-	if pe < 0 || pe >= len(d.acks) || m.Round != d.round || d.seen[pe] {
+	if pe < 0 || pe >= len(d.acks) || m.Round != d.round || m.Epoch != d.epoch || d.seen[pe] {
 		return false
 	}
 	d.seen[pe] = true
@@ -78,14 +86,19 @@ func (d *detector) record(pe int, m *Msg) bool {
 		round: m.Round, sent: m.Sent, recv: m.Recv, live: m.Live,
 		deferred: m.Deferred, hits: m.Hits, misses: m.Misses,
 		steals: m.Steals, forwards: m.Forwards, instrs: m.Instrs,
-		evicts: m.Evicts, refetches: m.Refetches,
+		evicts: m.Evicts, refetches: m.Refetches, replayed: m.Replayed,
+		flushed: m.Flushed,
 	}
 	d.got++
 	return d.got == len(d.acks)
 }
 
 // roundDone evaluates a completed round. It returns true when termination
-// is detected.
+// is detected. Beyond the classic conditions, every worker must report
+// its counting epoch flushed: a frame sent before an epoch reset is
+// invisible to the new epoch's sums on both ends, so only the flush
+// markers (which trail all older-epoch traffic on each FIFO stream) prove
+// nothing uncounted is still in flight.
 func (d *detector) roundDone() bool {
 	var sent, recv int64
 	allIdle := true
@@ -95,11 +108,35 @@ func (d *detector) roundDone() bool {
 		if a.live > 0 {
 			allIdle = false
 		}
+		if !a.flushed {
+			allIdle = false
+		}
 	}
 	ok := allIdle && sent == recv
 	terminated := ok && d.prevOK && sent == d.prevSent && recv == d.prevRecv
 	d.prevSent, d.prevRecv, d.prevOK = sent, recv, ok
 	return terminated
+}
+
+// reset moves the detector into a new counting epoch after a recovery: the
+// quiet-round candidate is discarded (its sums belong to the old epoch)
+// and subsequent acks must carry the new epoch to count.
+func (d *detector) reset(epoch int32) {
+	d.epoch = epoch
+	d.prevOK = false
+	d.prevSent, d.prevRecv = 0, 0
+}
+
+// unacked lists the PEs that have not answered the round being collected —
+// the recovery candidates when the round deadline fires.
+func (d *detector) unacked() []int {
+	var out []int
+	for pe, s := range d.seen {
+		if !s {
+			out = append(out, pe)
+		}
+	}
+	return out
 }
 
 // liveSPs sums the live SP counts of the latest acks (deadlock diagnostics).
@@ -123,6 +160,7 @@ func (d *detector) stats() Stats {
 		s.MsgsSent += a.sent
 		s.Steals += a.steals
 		s.Forwards += a.forwards
+		s.ReplayedSPs += a.replayed
 	}
 	return s
 }

@@ -16,9 +16,10 @@ import (
 // rule, and the stall report the driver's round deadline prints.
 
 // detAck records one probe answer on d: PE pe answering round with the
-// given counters and live SP count. Returns whether the round completed.
+// given counters and live SP count (epoch 0, trivially flushed). Returns
+// whether the round completed.
 func detAck(d *detector, pe int, round int32, sent, recv int64, live int32) bool {
-	return d.record(pe, &Msg{Kind: KAck, Round: round, Sent: sent, Recv: recv, Live: live})
+	return d.record(pe, &Msg{Kind: KAck, Round: round, Sent: sent, Recv: recv, Live: live, Flushed: true})
 }
 
 // completeRound collects one full round on d and evaluates it.
@@ -196,7 +197,7 @@ func main(n: int) {
 	}
 
 	driverEp := &dropDumpReqEndpoint{Endpoint: eps[cfg.NumPEs], dropTo: 1}
-	_, err := drive(ctx, driverEp, cfg, prog.Entry(), []isa.Value{isa.Int(8)})
+	_, err := drive(ctx, driverEp, cfg, prog.Entry(), []isa.Value{isa.Int(8)}, nil)
 	if err == nil {
 		t.Fatal("drive returned no error although PE 1's dump request was lost")
 	}
@@ -244,7 +245,7 @@ func TestDriveRoundDeadlineReportsSilentWorker(t *testing.T) {
 	}()
 
 	start := time.Now()
-	_, err := drive(ctx, eps[cfg.NumPEs], cfg, prog.Entry(), []isa.Value{isa.SPRef(0), isa.Float(0)})
+	_, err := drive(ctx, eps[cfg.NumPEs], cfg, prog.Entry(), []isa.Value{isa.SPRef(0), isa.Float(0)}, nil)
 	if err == nil {
 		t.Fatal("drive returned no error although PE 1 never acked")
 	}

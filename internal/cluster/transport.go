@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -158,48 +159,128 @@ func (b *mailbox) close() {
 // chanTransport is the in-process transport: one mailbox per endpoint,
 // message pointers handed over directly. There is no shared program state —
 // the only thing workers share is the wire.
+//
+// The transport doubles as the fault injector: with killPE/killAfter armed
+// it severs PE killPE's endpoint — sends dropped, receives closed — the
+// moment that PE has sent killAfter frames, and puts a KDown notice in the
+// driver's mailbox, exactly the observable shape of a worker process dying
+// mid-run with its socket resetting. The count advances on data frames and
+// probe acks only: acks tick every round even on a PE whose work is
+// entirely local, and both stop once termination is detected — steal
+// polling and dump segments don't count — so the kill always lands
+// mid-run, never in the gather phase where finished results would be
+// unrecoverable.
+//
+// replace installs a fresh mailbox for a PE and returns a new endpoint
+// bound to it — the respawn half of recovery. The dead endpoint keeps
+// pointing at its orphaned mailbox, so a zombie worker can neither consume
+// the replacement's messages nor have its own heard (senders resolve
+// mailboxes at send time, under the lock).
 type chanTransport struct {
-	boxes []*mailbox
+	mu      sync.RWMutex
+	boxes   []*mailbox
+	latency time.Duration
+
+	killPE    int   // PE to fault-inject; -1 disarmed
+	killAfter int64 // worker-to-worker frames it may send first
+	killSent  atomic.Int64
+	killed    atomic.Bool
 }
 
-// chanEndpoint is one endpoint of a chanTransport.
+// chanEndpoint is one endpoint of a chanTransport. The receive side binds
+// to the mailbox current at creation; the send side resolves the target's
+// mailbox per send, so replacement takes effect for everyone at once.
 type chanEndpoint struct {
 	net  *chanTransport
 	self int
+	box  *mailbox
+	dead bool // fault injection fired: the "machine" is off
+}
+
+// newChanNet builds the transport for n workers plus the driver (index n).
+// latency, when non-zero, is injected on every hop. killPE/killAfter arm
+// the fault injector (killPE -1 disarms it).
+func newChanNet(n int, latency time.Duration, killPE int, killAfter int64) *chanTransport {
+	t := &chanTransport{boxes: make([]*mailbox, n+1), latency: latency, killPE: killPE, killAfter: killAfter}
+	for i := range t.boxes {
+		t.boxes[i] = newDelayMailbox(latency)
+	}
+	return t
+}
+
+// endpoint returns endpoint i bound to its current mailbox.
+func (t *chanTransport) endpoint(i int) Endpoint {
+	return &chanEndpoint{net: t, self: i, box: t.boxes[i]}
+}
+
+// replace installs a fresh mailbox for pe — dropping whatever undelivered
+// frames the dead incarnation had queued — and returns the replacement's
+// endpoint (never fault-injected: the kill fires once).
+func (t *chanTransport) replace(pe int) Endpoint {
+	b := newDelayMailbox(t.latency)
+	t.mu.Lock()
+	t.boxes[pe] = b
+	t.mu.Unlock()
+	return &chanEndpoint{net: t, self: pe, box: b}
 }
 
 // newChanTransport builds endpoints for n workers plus the driver (index
-// n). latency, when non-zero, is injected on every hop: a sent message only
-// becomes receivable after that delay.
+// n) with no fault injection. latency, when non-zero, is injected on every
+// hop: a sent message only becomes receivable after that delay.
 func newChanTransport(n int, latency time.Duration) []Endpoint {
-	t := &chanTransport{boxes: make([]*mailbox, n+1)}
+	t := newChanNet(n, latency, -1, 0)
 	eps := make([]Endpoint, n+1)
-	for i := range t.boxes {
-		t.boxes[i] = newDelayMailbox(latency)
-		eps[i] = &chanEndpoint{net: t, self: i}
+	for i := range eps {
+		eps[i] = t.endpoint(i)
 	}
 	return eps
 }
 
 func (e *chanEndpoint) Send(to int, m *Msg) error {
-	if to < 0 || to >= len(e.net.boxes) {
+	if e.dead {
+		return ErrClosed
+	}
+	t := e.net
+	if to < 0 || to >= len(t.boxes) {
 		return fmt.Errorf("cluster: send to unknown endpoint %d", to)
 	}
+	driver := len(t.boxes) - 1
+	if e.self == t.killPE && (m.Kind.isData() || m.Kind == KAck) && !t.killed.Load() {
+		if t.killSent.Add(1) > t.killAfter && t.killed.CompareAndSwap(false, true) {
+			// The fault fires: this frame is lost on the wire, the endpoint
+			// goes dark, and the driver hears the "connection reset".
+			e.dead = true
+			t.mu.RLock()
+			box := t.boxes[driver]
+			t.mu.RUnlock()
+			box.put(&Msg{Kind: KDown, From: int32(e.self), PE: int32(e.self)})
+			return ErrClosed
+		}
+	}
 	m.From = int32(e.self)
-	e.net.boxes[to].put(m)
+	t.mu.RLock()
+	box := t.boxes[to]
+	t.mu.RUnlock()
+	box.put(m)
 	return nil
 }
 
 func (e *chanEndpoint) Recv(ctx context.Context) (*Msg, error) {
-	return e.net.boxes[e.self].recv(ctx)
+	if e.dead {
+		return nil, ErrClosed
+	}
+	return e.box.recv(ctx)
 }
 
 func (e *chanEndpoint) TryRecv() (*Msg, bool) {
-	m, ok, _, _ := e.net.boxes[e.self].pop()
+	if e.dead {
+		return nil, false
+	}
+	m, ok, _, _ := e.box.pop()
 	return m, ok
 }
 
 func (e *chanEndpoint) Close() error {
-	e.net.boxes[e.self].close()
+	e.box.close()
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 
@@ -33,7 +34,16 @@ type spInst struct {
 	// instances can legally see tokens arrive after their HALT (the extra
 	// relay hop through the home PE's forwarding stub is what lets a
 	// token trail completion), so only they enter the halted set.
-	stolen bool
+	// grantedFrom is the PE the grant came from (-1 for home-spawned
+	// instances) and grantedInc that PE's incarnation when it granted: the
+	// completion notice that lets grantors drop their stubs and grant
+	// records travels back along grantedFrom, and a not-yet-started stolen
+	// instance is discarded when its grantor's incarnation dies (the
+	// grantor re-instantiates it, so keeping the copy would run the work
+	// twice).
+	stolen      bool
+	grantedFrom int
+	grantedInc  int32
 
 	// Adaptive repartitioning (Config.Adapt). costLoop/costSweep/costIter
 	// name the (Range-Filtered loop template, SPAWND fan-out, iteration)
@@ -130,6 +140,43 @@ type worker struct {
 	forwarded        int64 // tokens relayed through forwarding stubs
 	lateTokens       int64 // tokens dropped for halted SPs
 
+	// Failure recovery (enabled by Config.Recover). inc is this worker's
+	// own incarnation (0 for an original, >0 for a replacement); incs is
+	// the known incarnation of every PE, updated by KRecover — frames from
+	// an older incarnation of their sender are dropped at the handle
+	// boundary. epoch is the termination-counting epoch: each recovery
+	// bumps it and zeroes sent/recv everywhere, so the four-counter sums
+	// never chase message counts that died with a worker. The logs hold
+	// this worker's share of a dead peer's replayable state: writeLog the
+	// remote writes it sent each PE, outReads its in-flight remote reads
+	// (re-issued when the owner is respawned with an empty shard), and
+	// grantLog deep copies of steal grants (re-instantiated when the thief
+	// dies holding them; dropped when KStealDone reports completion).
+	recover   bool
+	inc       int32
+	epoch     int32
+	incs      []int32
+	recovered bool  // some recovery has happened: tolerate duplicate-execution tokens
+	staleMsgs int64 // frames and tokens dropped by incarnation fencing
+	deadSends int64 // peer sends dropped on transport failure (replay covers them)
+	writeLog  map[int][]writeRec
+	outReads  map[outReadKey]outRead
+	grantLog  map[int64]grantRec
+	allocLog  []*istructure.Header // arrays this worker allocated (broadcasts replayed)
+	fanoutLog []fanoutRec          // SPAWND fan-outs this worker performed
+	replayed  int64                // SPs this worker re-sent or re-instantiated for replacements
+
+	// Epoch flushing. A frame sent in an older epoch is invisible to the
+	// new epoch's counters on both ends, so the sums alone cannot prove
+	// it has landed. Each worker therefore sends a KFlush marker to every
+	// peer when it adopts a new epoch (after repointing — the marker
+	// trails every pre-epoch frame on each FIFO stream), and reports
+	// Flushed in its acks once it holds markers from all peers: only then
+	// can no uncounted frame still be in flight toward it. flushFrom
+	// tracks the current epoch's markers.
+	flushFrom []bool
+	flushed   int
+
 	// Adaptive repartitioning (enabled by Config.Adapt). cuts holds the
 	// latest KRebound cut vector per distributed loop template; a SPAWND
 	// fan-out of such a loop stamps each copy with its PE's explicit
@@ -157,6 +204,49 @@ type costKey struct {
 	iter  int64
 }
 
+// writeRec is one logged remote write (replayed to a respawned owner).
+type writeRec struct {
+	arr int64
+	off int32
+	val isa.Value
+}
+
+// outReadKey identifies one in-flight remote read by its delivery target.
+type outReadKey struct {
+	sp   int64
+	slot int32
+}
+
+// outRead is the request half of an in-flight remote read, kept so it can
+// be re-issued against a respawned owner whose deferred-read queues died
+// with its shard.
+type outRead struct {
+	arr   int64
+	off   int32
+	owner int
+}
+
+// grantRec is a deep copy of one steal grant: enough to re-instantiate the
+// SP if the thief dies holding it. from is where this worker itself got
+// the SP (-1 if home-spawned here) — the hop a KStealDone is relayed to.
+type grantRec struct {
+	item  StealItem
+	thief int
+	from  int
+}
+
+// fanoutRec is one SPAWND fan-out this worker performed: the spawner is
+// the one authority on what each PE was assigned, so a respawned peer's
+// copy is replayed from here — no wire race can lose it. cuts aliases the
+// cut vector stamped at fan-out time (replaced wholesale by rebinds, never
+// mutated), so the replayed copy carries bit-identical bounds.
+type fanoutRec struct {
+	tmpl  int32
+	args  []isa.Value
+	sweep int64
+	cuts  []int64
+}
+
 func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, steal, adapt bool, cachePages int) *worker {
 	w := &worker{
 		pe:          pe,
@@ -179,27 +269,113 @@ func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, st
 	return w
 }
 
+// enableRecovery arms the worker-side recovery machinery: incarnation
+// fencing, epoch-reset termination counting, write/grant logging,
+// outstanding-read tracking, and idempotent absorption of replayed writes.
+// inc is this worker's own incarnation (>0 for a replacement), epoch the
+// counting epoch it joins, incs the known incarnation of every PE.
+func (w *worker) enableRecovery(inc, epoch int32, incs []int32) {
+	w.recover = true
+	w.inc = inc
+	w.epoch = epoch
+	if incs == nil {
+		incs = make([]int32, w.n)
+	}
+	w.incs = incs
+	w.recovered = inc > 0 || epoch > 0
+	w.writeLog = make(map[int][]writeRec)
+	w.outReads = make(map[outReadKey]outRead)
+	w.grantLog = make(map[int64]grantRec)
+	w.flushFrom = make([]bool, w.n)
+	w.shard.Idempotent = true
+	if epoch > 0 {
+		// A replacement joins mid-run: its streams carry no pre-epoch
+		// frames, so its markers can go out immediately.
+		w.sendFlush()
+	}
+}
+
+// bumpEpoch adopts a newer counting epoch: zero the four-counter halves
+// and invalidate the previous epoch's flush markers. The worker's own
+// markers go out via sendFlush once the transport is repointed (KRecover),
+// or immediately for a freshly-joined replacement.
+func (w *worker) bumpEpoch(epoch int32) {
+	w.epoch = epoch
+	w.sent, w.recv = 0, 0
+	w.recovered = true
+	if w.flushFrom != nil {
+		clear(w.flushFrom)
+		w.flushed = 0
+	}
+}
+
+// sendFlush announces this worker's current epoch to every peer. Sent
+// after a bump's repointing, so each per-pair FIFO stream delivers the
+// marker behind every frame this worker emitted in older epochs.
+func (w *worker) sendFlush() {
+	for pe := 0; pe < w.n; pe++ {
+		if pe == w.pe {
+			continue
+		}
+		w.send(pe, &Msg{Kind: KFlush})
+	}
+}
+
+// epochFlushed reports whether this worker has proof that no frame from an
+// older counting epoch can still be in flight toward it.
+func (w *worker) epochFlushed() bool {
+	return w.epoch == 0 || w.flushed == w.n-1
+}
+
 // driverID is the endpoint index of the driver for this worker's cluster.
 func (w *worker) driverID() int { return w.n }
 
 // send transmits m to endpoint `to`, counting worker-to-worker data traffic.
+// Every frame is stamped with the sender's epoch and incarnation so
+// receivers can fence a dead predecessor's traffic and keep the counting
+// epochs coherent.
 func (w *worker) send(to int, m *Msg) {
+	m.Epoch, m.Inc = w.epoch, w.inc
 	if to != w.driverID() && m.Kind.isData() {
 		w.sent++
 	}
 	if err := w.ep.Send(to, m); err != nil {
+		if errors.Is(err, ErrClosed) {
+			// This worker's own endpoint is gone — the fault injector fired
+			// or the run is shutting down. The "machine" is off: go silent.
+			w.stopped = true
+			return
+		}
+		if w.recover && to != w.driverID() {
+			// The peer is unreachable — dead, dying, or being replaced.
+			// Dropping the frame is recoverable: every durable effect a
+			// worker sends a peer is covered by a replay log (writes,
+			// headers, fan-outs, grants, outstanding reads), and tokens
+			// addressed to the dead incarnation are moot once its work is
+			// re-executed under fresh IDs. If no recovery comes, the probe
+			// round stalls and fails the run with diagnostics. The sent
+			// count stays in place, keeping the sums unequal until the
+			// recovery epoch resets them — a lost frame can never fake
+			// termination.
+			w.deadSends++
+			return
+		}
 		w.fail(err)
 	}
 }
 
 // fail reports the first fatal error to the driver and stops executing SPs.
 // The worker keeps serving control messages until the driver says stop.
+// The frame is stamped like every other send — a replacement's unstamped
+// KFail would be dropped by the driver's incarnation fence and turn a
+// loud failure into a hang.
 func (w *worker) fail(err error) {
 	if w.failed {
 		return
 	}
 	w.failed = true
-	_ = w.ep.Send(w.driverID(), &Msg{Kind: KFail, Name: fmt.Sprintf("pe %d: %v", w.pe, err)})
+	_ = w.ep.Send(w.driverID(), &Msg{Kind: KFail, Epoch: w.epoch, Inc: w.inc,
+		Name: fmt.Sprintf("pe %d: %v", w.pe, err)})
 }
 
 // enqueue appends an SP to the ready queue. Arriving work also resets the
@@ -236,6 +412,20 @@ func (w *worker) compactReady() {
 	w.readyHead, w.readyNil = 0, 0
 }
 
+// debugDump prints this worker's live state to stderr when
+// PODS_CLUSTER_DEBUG is set (deadlock diagnosis in tests).
+func (w *worker) debugDump(why string) {
+	if os.Getenv("PODS_CLUSTER_DEBUG") == "" {
+		return
+	}
+	for id, sp := range w.insts {
+		fmt.Fprintf(os.Stderr, "DEBUG(%s) pe %d inc %d live SP %d (pe %d inc %d) tmpl %q pc %d blocked %d stolen %v\n",
+			why, w.pe, w.inc, id, peOf(id), incOf(id), sp.tmpl.Name, sp.pc, sp.blocked, sp.stolen)
+	}
+	fmt.Fprintf(os.Stderr, "DEBUG(%s) pe %d inc %d pendingReads %d waitArray %d outReads %d ready %d epoch %d sent %d recv %d\n",
+		why, w.pe, w.inc, w.shard.PendingReads(), len(w.waitArray), len(w.outReads), len(w.ready)-w.readyHead-w.readyNil, w.epoch, w.sent, w.recv)
+}
+
 // run is the worker main loop: drain the mailbox, then execute ready SPs;
 // block on the endpoint when there is nothing to do — after first trying
 // to steal work from a peer if stealing is enabled.
@@ -255,6 +445,7 @@ func (w *worker) run(ctx context.Context) {
 			w.maybeSteal()
 			m, err := w.ep.Recv(ctx)
 			if err != nil {
+				w.debugDump("recv-exit")
 				return
 			}
 			w.handle(m)
@@ -351,6 +542,16 @@ func (w *worker) stealBatch(hot []int64) []*spInst {
 		if sp == nil || sp.pc != 0 || sp.tmpl.Distributed {
 			continue
 		}
+		if w.recover && sp.stolen {
+			// With recovery armed, a stolen-in SP is pinned: re-granting it
+			// would chain grant records across PEs, and a middle hop dying
+			// after the SP started at the final thief would make its
+			// grantor re-instantiate a second live copy under the same home
+			// ID — the two copies would race for each other's tokens. A
+			// one-hop migration keeps exactly one re-instantiation
+			// authority per grant.
+			continue
+		}
 		cand = append(cand, i)
 	}
 	if len(cand) == 0 {
@@ -445,8 +646,169 @@ func (w *worker) handleStealReq(m *Msg) {
 			Args:     sp.frame,
 			Set:      sp.present,
 		}
+		if w.recover {
+			// A deep copy stays behind: if the thief's incarnation dies
+			// holding the SP, this worker re-instantiates it from the copy.
+			// The record is dropped when KStealDone reports completion.
+			it := items[i]
+			it.Args = append([]isa.Value(nil), sp.frame...)
+			it.Set = append([]bool(nil), sp.present...)
+			w.grantLog[sp.id] = grantRec{item: it, thief: thief, from: sp.grantedFrom}
+		}
 	}
 	w.send(thief, &Msg{Kind: KStealGrant, Batch: items})
+}
+
+// handleStealDone retires one completed steal grant: the stub becomes a
+// halted tombstone (late tokens drop here instead of relaying to a thief
+// that would drop them anyway), the grant record is freed, and the notice
+// is relayed one hop toward the SP's home so the whole chain cleans up.
+func (w *worker) handleStealDone(m *Msg) {
+	e, ok := w.grantLog[m.SP]
+	if !ok {
+		return
+	}
+	delete(w.grantLog, m.SP)
+	delete(w.forwards, m.SP)
+	w.halted[m.SP] = struct{}{}
+	if e.from >= 0 {
+		w.send(e.from, &Msg{Kind: KStealDone, SP: m.SP})
+	}
+}
+
+// applyRecover handles a KRecover announcement on a surviving worker:
+// adopt the new counting epoch, fence the dead incarnations, repoint the
+// transport at the replacement addresses, and replay this worker's share
+// of the lost state toward each respawned PE.
+func (w *worker) applyRecover(m *Msg) {
+	if m.Epoch > w.epoch {
+		w.bumpEpoch(m.Epoch)
+	}
+	w.recovered = true
+	if w.incs == nil {
+		w.incs = make([]int32, w.n)
+	}
+	var dead []int
+	for pe, inc := range m.Incs {
+		if pe < len(w.incs) && pe != w.pe && inc > w.incs[pe] {
+			w.incs[pe] = inc
+			dead = append(dead, pe)
+		}
+	}
+	if len(m.Peers) > 0 {
+		if rp, ok := w.ep.(interface{ Repoint([]string) }); ok {
+			rp.Repoint(m.Peers)
+		}
+	}
+	for _, k := range dead {
+		w.replayFor(k)
+	}
+	// Markers last: the transport now points at the replacements, and on
+	// every stream the marker trails all of this worker's older-epoch
+	// frames (and the replays above, which is fine — they are counted in
+	// the current epoch).
+	w.sendFlush()
+}
+
+// replayFor re-creates this worker's share of a respawned PE k's lost
+// state. Single assignment is what makes each piece replayable without
+// coordination: re-sent writes are absorbed idempotently, re-issued reads
+// fetch immutable data, and re-instantiated SPs regenerate exactly the
+// values their first execution produced.
+func (w *worker) replayFor(k int) {
+	// Headers this worker allocated: the original broadcast to k may have
+	// died with the old incarnation (or been dropped while its address was
+	// dark), and nothing re-executes a completed ALLOC — so the broadcast
+	// itself is replayed, and duplicate installs are absorbed.
+	for _, h := range w.allocLog {
+		w.send(k, allocMsg(h))
+	}
+	// The dead shard's owned segments lost every remote write this worker
+	// ever sent it; play the log back so the replacement's store converges
+	// with what the survivors have already read.
+	for _, wr := range w.writeLog[k] {
+		w.send(k, &Msg{Kind: KWrite, Arr: wr.arr, Off: wr.off, Val: wr.val})
+	}
+	// Every fan-out this worker performed is re-sent: k's copy of each one
+	// died with its shard (or on the wire), and re-execution regenerates
+	// exactly the writes the first execution produced, absorbed
+	// idempotently where they overlap surviving state.
+	for i := range w.fanoutLog {
+		f := &w.fanoutLog[i]
+		m := &Msg{Kind: KSpawn, Tmpl: f.tmpl, Sweep: f.sweep,
+			Args: append([]isa.Value(nil), f.args...)}
+		if f.cuts != nil {
+			m.RngOn = true
+			m.RngLo, m.RngHi = cutBounds(f.cuts, k, w.n)
+		}
+		w.send(k, m)
+		w.replayed++
+	}
+	// In-flight reads owned by k — requested, queued as deferred reads in
+	// the dead shard, or answered by a page that died on the wire — are
+	// re-issued against the replacement; the blocked SPs wake when the
+	// replayed writes land.
+	for key, rd := range w.outReads {
+		if rd.owner != k {
+			continue
+		}
+		w.send(k, &Msg{Kind: KReadReq, Arr: rd.arr, Off: rd.off,
+			ReqPE: int32(w.pe), SP: key.sp, Slot: key.slot})
+	}
+	// SPs granted to the dead incarnation are re-instantiated from the
+	// grant-time copies and run here as if the steal never happened.
+	for id, e := range w.grantLog {
+		if e.thief != k {
+			continue
+		}
+		delete(w.grantLog, id)
+		delete(w.forwards, id)
+		tmpl := w.prog.Template(int(e.item.Tmpl))
+		if tmpl == nil {
+			w.fail(fmt.Errorf("grant log for %d names unknown template %d", id, e.item.Tmpl))
+			return
+		}
+		sp := &spInst{
+			id:          id,
+			tmpl:        tmpl,
+			frame:       e.item.Args,
+			present:     e.item.Set,
+			blocked:     isa.None,
+			stolen:      e.from >= 0,
+			grantedFrom: e.from,
+			costLoop:    e.item.CostLoop,
+			costSweep:   e.item.Sweep,
+			costIter:    e.item.CostIter,
+		}
+		w.insts[id] = sp
+		w.enqueue(sp)
+		w.replayed++
+	}
+	// Conversely, not-yet-started SPs the dead incarnation granted *to*
+	// this worker are discarded: their grantor (or the replacement's
+	// replay) re-creates them, and an untouched queue entry has produced
+	// no observable effect, so dropping it is always safe and prevents
+	// double execution.
+	for i := w.readyHead; i < len(w.ready); i++ {
+		sp := w.ready[i]
+		if sp == nil || !sp.stolen || sp.pc != 0 ||
+			sp.grantedFrom != k || sp.grantedInc >= w.incs[k] {
+			continue
+		}
+		delete(w.insts, sp.id)
+		w.ready[i] = nil
+		w.readyNil++
+	}
+	for w.readyHead < len(w.ready) && w.ready[w.readyHead] == nil {
+		w.readyHead++
+		w.readyNil--
+	}
+	w.compactReady()
+	// A steal request addressed to the dead incarnation will never be
+	// answered; clear the in-flight latch so this worker can ask again.
+	if w.stealOutstanding && w.stealVictim == k {
+		w.stealOutstanding = false
+	}
 }
 
 // installStolen installs each granted SP under its home ID and runs it as
@@ -477,16 +839,19 @@ func (w *worker) installStolen(m *Msg) {
 		// own stale stub, or the stub chain forms a relay cycle once the
 		// SP halts here (deliver prefers forwards over halted).
 		delete(w.forwards, it.SP)
+		delete(w.grantLog, it.SP)
 		sp := &spInst{
-			id:        it.SP,
-			tmpl:      tmpl,
-			frame:     it.Args,
-			present:   it.Set,
-			blocked:   isa.None,
-			stolen:    true,
-			costLoop:  it.CostLoop,
-			costSweep: it.Sweep,
-			costIter:  it.CostIter,
+			id:          it.SP,
+			tmpl:        tmpl,
+			frame:       it.Args,
+			present:     it.Set,
+			blocked:     isa.None,
+			stolen:      true,
+			grantedFrom: int(m.From),
+			grantedInc:  m.Inc,
+			costLoop:    it.CostLoop,
+			costSweep:   it.Sweep,
+			costIter:    it.CostIter,
 		}
 		w.insts[sp.id] = sp
 		w.steals++
@@ -496,7 +861,23 @@ func (w *worker) installStolen(m *Msg) {
 
 // handle dispatches one incoming message.
 func (w *worker) handle(m *Msg) {
-	if m.Kind.isData() && int(m.From) != w.driverID() {
+	// Incarnation fence: a frame from a dead incarnation of its sender is
+	// dropped whole, whatever its kind. Every effect the old incarnation
+	// produced is regenerated by the replay protocol, so processing the
+	// stale frame could only duplicate or corrupt — and a zombie (a worker
+	// presumed dead that is still limping) is silenced the same way.
+	if f := int(m.From); f >= 0 && f < w.n && w.incs != nil && m.Inc < w.incs[f] {
+		w.staleMsgs++
+		return
+	}
+	// Epoch piggyback: a frame from a newer counting epoch proves a
+	// recovery happened; adopt it before counting so the four-counter sums
+	// only ever mix messages of one epoch. (The KRecover that explains the
+	// epoch follows on the driver stream; the counters cannot wait for it.)
+	if m.Epoch > w.epoch {
+		w.bumpEpoch(m.Epoch)
+	}
+	if m.Kind.isData() && int(m.From) != w.driverID() && m.Epoch == w.epoch {
 		w.recv++
 	}
 	switch m.Kind {
@@ -575,6 +956,8 @@ func (w *worker) handle(m *Msg) {
 			Instrs:    w.instrs,
 			Evicts:    w.shard.Evictions,
 			Refetches: w.shard.Refetches,
+			Replayed:  w.replayed,
+			Flushed:   w.epochFlushed(),
 		})
 
 	case KStealReq:
@@ -598,6 +981,21 @@ func (w *worker) handle(m *Msg) {
 		}
 		w.cuts[int(m.Tmpl)] = m.Cuts
 
+	case KRecover:
+		w.applyRecover(m)
+
+	case KFlush:
+		// An epoch marker from a peer: everything it sent in older epochs
+		// has arrived (same FIFO stream). Markers are epoch-scoped.
+		if f := int(m.From); m.Epoch == w.epoch && f >= 0 && f < w.n &&
+			w.flushFrom != nil && !w.flushFrom[f] {
+			w.flushFrom[f] = true
+			w.flushed++
+		}
+
+	case KStealDone:
+		w.handleStealDone(m)
+
 	case KDumpReq:
 		w.handleDumpReq(m)
 
@@ -606,6 +1004,7 @@ func (w *worker) handle(m *Msg) {
 		w.fail(errors.New(m.Name))
 
 	case KStop:
+		w.debugDump("stop")
 		w.stopped = true
 
 	default:
@@ -623,12 +1022,13 @@ func (w *worker) instantiate(tmpl *isa.Template, args []isa.Value) *spInst {
 	}
 	w.nextSP++
 	sp := &spInst{
-		id:       packID(w.pe, w.nextSP),
-		tmpl:     tmpl,
-		frame:    make([]isa.Value, tmpl.NSlots),
-		present:  make([]bool, tmpl.NSlots),
-		blocked:  isa.None,
-		costLoop: -1,
+		id:          packIncID(w.pe, w.inc, w.nextSP),
+		tmpl:        tmpl,
+		frame:       make([]isa.Value, tmpl.NSlots),
+		present:     make([]bool, tmpl.NSlots),
+		blocked:     isa.None,
+		grantedFrom: -1,
+		costLoop:    -1,
 	}
 	copy(sp.frame, args)
 	for i := range args {
@@ -702,8 +1102,13 @@ func cutBounds(cuts []int64, pe, n int) (lo, hi int64) {
 // relayed to the thief through the forwarding stub (the relay counts as a
 // data message, balancing the extra receive). A token for an SP that ran
 // here and halted is legal with stealing in play — result tokens an SP
-// never consumes can trail its HALT — and is dropped; a token for an ID
-// this worker has never seen still fails the run.
+// never consumes can trail its HALT — and is dropped. A token for a local
+// ID minted by an earlier incarnation of this PE is a release for work
+// that died and is being re-executed under fresh IDs: dropped and counted.
+// After a recovery, a token for any unknown ID is tolerated the same way —
+// replay re-executes subtrees whose first execution's tokens may still be
+// in flight. In an unrecovered run, a token for an ID this worker has
+// never seen still fails the run.
 func (w *worker) deliver(id int64, slot int, v isa.Value) {
 	sp := w.insts[id]
 	if sp == nil {
@@ -716,12 +1121,23 @@ func (w *worker) deliver(id int64, slot int, v isa.Value) {
 			w.lateTokens++
 			return
 		}
+		if peOf(id) == w.pe && incOf(id) < w.inc {
+			w.staleMsgs++
+			return
+		}
+		if w.recovered {
+			w.lateTokens++
+			return
+		}
 		w.fail(fmt.Errorf("token for dead SP %d", id))
 		return
 	}
 	if slot < 0 || slot >= len(sp.frame) {
 		w.fail(fmt.Errorf("token slot %d out of range for SP %q", slot, sp.tmpl.Name))
 		return
+	}
+	if w.outReads != nil {
+		delete(w.outReads, outReadKey{sp: id, slot: int32(slot)})
 	}
 	sp.frame[slot] = v
 	sp.present[slot] = true
@@ -873,7 +1289,7 @@ func (w *worker) step() {
 	}
 
 	for {
-		if w.failed {
+		if w.failed || w.stopped {
 			return
 		}
 		if sp.pc < 0 || sp.pc >= len(sp.tmpl.Code) {
@@ -1032,8 +1448,27 @@ func (w *worker) step() {
 				var cuts []int64
 				if w.adapt && child.Distributed {
 					w.nextSweep++
-					sweep = packID(w.pe, w.nextSweep)
+					sweep = packIncID(w.pe, w.inc, w.nextSweep)
 					cuts = w.cuts[child.ID]
+				}
+				if w.recover {
+					// Log the fan-out locally — the spawner is the one
+					// authority on what each PE was assigned, and replays a
+					// respawned peer's copy itself — and with the driver
+					// *before* performing it, so that if this worker dies
+					// mid-broadcast the driver can replay every PE's
+					// assignment, including copies whose spawn frames never
+					// left this machine. The cuts travel too, so a replayed
+					// copy is stamped with bit-identical bounds.
+					w.fanoutLog = append(w.fanoutLog, fanoutRec{
+						tmpl: int32(child.ID), args: append([]isa.Value(nil), cargs...),
+						sweep: sweep, cuts: cuts})
+					lg := &Msg{Kind: KSpawnLog, Tmpl: int32(child.ID),
+						Args: append([]isa.Value(nil), cargs...), Sweep: sweep}
+					if cuts != nil {
+						lg.Cuts = append([]int64(nil), cuts...)
+					}
+					w.send(w.driverID(), lg)
 				}
 				for pe := 0; pe < w.n; pe++ {
 					var rlo, rhi int64
@@ -1082,6 +1517,12 @@ func (w *worker) step() {
 			delete(w.insts, sp.id)
 			if sp.stolen {
 				w.halted[sp.id] = struct{}{}
+				if w.recover && sp.grantedFrom >= 0 {
+					// Tell the grantor the migrated SP completed, so its
+					// grant record (and stub chain) can retire instead of
+					// being re-instantiated by a later recovery.
+					w.send(sp.grantedFrom, &Msg{Kind: KStealDone, SP: sp.id})
+				}
 			}
 			return
 
@@ -1089,7 +1530,7 @@ func (w *worker) step() {
 			w.fail(fmt.Errorf("%q pc %d: unimplemented opcode %s", sp.tmpl.Name, sp.pc, ins.Op))
 			return
 		}
-		if w.failed {
+		if w.failed || w.stopped {
 			return
 		}
 		// Count the instruction only once it completes: a suspension on a

@@ -2,6 +2,7 @@ package istructure
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/isa"
@@ -43,6 +44,16 @@ type Shard struct {
 	// installed.
 	CacheCap int
 
+	// Idempotent tolerates a second write of the *identical* value to an
+	// already-written element as a no-op (counted in DupWrites) instead of
+	// failing it as a single-assignment violation. Failure recovery re-
+	// executes a dead PE's work, and single assignment guarantees a
+	// deterministic program regenerates exactly the values it wrote the
+	// first time — so absorbing the duplicates is sound, while a
+	// *mismatched* rewrite still proves the program (or the recovery) is
+	// broken and keeps failing loudly.
+	Idempotent bool
+
 	// clock is the CLOCK ring over resident cached pages: hand sweeps it
 	// clearing reference bits until it finds an unreferenced victim. New
 	// pages enter unreferenced, so a page that is never probed again after
@@ -67,6 +78,7 @@ type Shard struct {
 	CacheMisses   int64 // remote reads that had to fetch a page
 	Evictions     int64 // cached pages evicted by the CLOCK bound
 	Refetches     int64 // page installs that re-fetch a previously evicted page
+	DupWrites     int64 // identical rewrites absorbed by Idempotent mode
 }
 
 // pageKey identifies one cached page.
@@ -116,8 +128,14 @@ func NewShard(pe int) *Shard {
 
 // Install allocates this PE's segment of an array described by h. Every PE
 // installs the same header (the distributing allocate broadcast of §4.1).
+// In Idempotent mode a duplicate install is a no-op: recovery re-broadcasts
+// every known header because any single broadcast may have died on the
+// wire with its sender.
 func (s *Shard) Install(h *Header) error {
 	if _, dup := s.arrays[h.ID]; dup {
+		if s.Idempotent {
+			return nil
+		}
 		return fmt.Errorf("pe %d: array id %d already installed", s.PE, h.ID)
 	}
 	lo, hi := h.SegmentElems(s.PE)
@@ -219,6 +237,13 @@ func (s *Shard) Write(id int64, off int, v isa.Value) (local []Waiter, remote []
 		return nil, nil, fmt.Errorf("pe %d: write to non-owned offset %d of array %q", s.PE, off, a.h.Name)
 	}
 	if a.set[i] {
+		if s.Idempotent && sameValue(a.vals[i], v) {
+			// A replayed write landing on its own first execution's result:
+			// the element is already present, so any waiters were released
+			// by the original write and there is nothing left to do.
+			s.DupWrites++
+			return nil, nil, nil
+		}
 		return nil, nil, &SingleAssignmentError{Array: a.h.Name, Off: off}
 	}
 	a.vals[i] = v
@@ -228,6 +253,13 @@ func (s *Shard) Write(id int64, off int, v isa.Value) (local []Waiter, remote []
 	remote = a.remoteWaiting[off]
 	delete(a.remoteWaiting, off)
 	return local, remote, nil
+}
+
+// sameValue reports bit-exact value equality (floats compared by their
+// bits, so a NaN rewrite of the same NaN is still "identical").
+func sameValue(a, b isa.Value) bool {
+	return a.Kind == b.Kind && a.I == b.I &&
+		math.Float64bits(a.F) == math.Float64bits(b.F)
 }
 
 // QueueRemote records a remote PE waiting for an absent owned element
