@@ -20,6 +20,11 @@
 //	CACHE — bounded page cache with CLOCK eviction: hit rate, makespan,
 //	       evictions and refetches vs. the per-shard page cap on heat,
 //	       relax, and matmul (cap 0 = unbounded control arm)
+//	TRACE — observability overhead: tracing off vs on (event rings +
+//	       per-round metric snapshots) on relax and matmul, asserting the
+//	       makespan grows ≤5%; with -csv it also writes the traced relax
+//	       run as Chrome trace_event JSON (Perfetto-loadable), the
+//	       per-round timeline CSV, and a per-PE counter breakdown
 //
 // Usage:
 //
@@ -49,7 +54,7 @@ func main() {
 
 func run(argv []string) error {
 	fs := flag.NewFlagSet("podsbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK,SKEW,ADAPT,CACHE) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK,SKEW,ADAPT,CACHE,TRACE) or 'all'")
 	quick := fs.Bool("quick", false, "reduced axes (smaller sizes, fewer PE counts)")
 	csvDir := fs.String("csv", "", "also write figure data as CSV files into this directory")
 	if err := fs.Parse(argv); err != nil {
@@ -64,6 +69,7 @@ func run(argv []string) error {
 	skewN, skewPEs := 96, []int{1, 2, 4, 8}
 	adaptN, adaptSweeps, adaptPEs := 64, 6, []int{1, 2, 4, 8}
 	cacheN, cachePEs, cacheCaps := 32, 8, []int{0, 2, 4, 8, 16, 32}
+	traceN, tracePEs, traceReps := 48, 8, 3
 	if *quick {
 		pes = []int{1, 4, 16}
 		sizes = []int{8, 16}
@@ -73,6 +79,7 @@ func run(argv []string) error {
 		skewN, skewPEs = 32, []int{1, 4}
 		adaptN, adaptSweeps, adaptPEs = 32, 4, []int{1, 8}
 		cacheN, cachePEs, cacheCaps = 16, 4, []int{0, 2, 8}
+		traceN, traceReps = 24, 2
 	}
 
 	want := map[string]bool{}
@@ -198,6 +205,31 @@ func run(argv []string) error {
 		}
 		fmt.Print(r.Format())
 		if err := emitCSV(*csvDir, "cache.csv", r.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if section("TRACE") {
+		fmt.Println(hr)
+		r, err := bench.Trace(traceN, tracePEs, traceReps)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		if err := r.Check(); err != nil {
+			return err
+		}
+		if err := emitCSV(*csvDir, "trace.csv", r.WriteCSV); err != nil {
+			return err
+		}
+		if err := emitCSV(*csvDir, "trace_pe.csv", r.WritePerPECSV); err != nil {
+			return err
+		}
+		chrome := func(w io.Writer) error { return r.WriteChromeJSON(w, "relax") }
+		if err := emitCSV(*csvDir, "relax_trace.json", chrome); err != nil {
+			return err
+		}
+		timeline := func(w io.Writer) error { return r.WriteTimelineCSV(w, "relax") }
+		if err := emitCSV(*csvDir, "relax_timeline.csv", timeline); err != nil {
 			return err
 		}
 	}

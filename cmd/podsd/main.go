@@ -22,6 +22,15 @@
 // idempotent, so the results are bit-identical to an undisturbed run:
 //
 //	podsd -workers w1:7101,w2:7101 -spares w3:7101 -builtin relax -args 16,8
+//
+// Observability: -metrics serves live counters while a run is in flight
+// (plain-text /metrics, expvar /debug/vars, and /debug/pprof) in either
+// mode; -trace / -timeline make a driver run record every PE's event ring
+// and export it as Chrome trace_event JSON (open at https://ui.perfetto.dev)
+// and a per-probe-round CSV:
+//
+//	podsd -worker -listen 0.0.0.0:7101 -metrics 0.0.0.0:7070
+//	podsd -builtin relax -pes 8 -steal -trace relax.json -timeline relax.csv
 package main
 
 import (
@@ -29,12 +38,15 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -metrics server
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/trace"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/kernels"
@@ -64,8 +76,19 @@ func run(argv []string) error {
 	adapt := fs.Bool("adapt", false, "enable adaptive repartitioning of Range Filter bounds between sweeps")
 	latency := fs.Duration("latency", 0, "inject per-hop latency into the in-process transport")
 	timeout := fs.Duration("timeout", 2*time.Minute, "abort a (possibly deadlocked) run after this long")
+	metrics := fs.String("metrics", "", "serve live metrics on this address (/metrics, /debug/vars, /debug/pprof)")
+	traceOut := fs.String("trace", "", "record a trace and write it as Chrome trace_event JSON to this file (driver mode)")
+	timelineOut := fs.String("timeline", "", "record a trace and write the per-round metrics timeline CSV to this file (driver mode)")
+	traceCap := fs.Int("trace-cap", 0, "per-PE trace ring capacity in events (default 4096)")
+	traceSample := fs.Int("trace-sample", 0, "record every Nth SP instance's dispatch/complete events (default 1 = all)")
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+
+	if *metrics != "" {
+		if err := serveMetrics(*metrics); err != nil {
+			return err
+		}
 	}
 
 	if *worker {
@@ -120,7 +143,9 @@ func run(argv []string) error {
 	}
 
 	cfg := cluster.Config{NumPEs: *pes, PageElems: *pageElems, CachePages: *cachePages,
-		Steal: *steal, Adapt: *adapt, Latency: *latency, Recover: *recoverFlag}
+		Steal: *steal, Adapt: *adapt, Latency: *latency, Recover: *recoverFlag,
+		TraceCap: *traceCap, TraceSample: *traceSample}
+	cfg.Trace = *traceOut != "" || *timelineOut != ""
 	if *workers != "" {
 		cfg.Workers = strings.Split(*workers, ",")
 	}
@@ -150,6 +175,11 @@ func run(argv []string) error {
 		fmt.Printf("result: %s\n", res.Value)
 	}
 	fmt.Printf("arrays: %s\n", strings.Join(res.ArrayNames(), ", "))
+	if res.Trace != nil {
+		if err := writeTraceFiles(res, prog, *traceOut, *timelineOut); err != nil {
+			return err
+		}
+	}
 	if *dump != "" {
 		vals, mask, dims, err := res.ReadArray(*dump)
 		if err != nil {
@@ -169,6 +199,69 @@ func run(argv []string) error {
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// writeTraceFiles exports a traced run: Chrome trace_event JSON and/or the
+// per-round timeline CSV, plus a one-line summary of what was captured.
+func writeTraceFiles(res *cluster.Result, prog *isa.Program, traceOut, timelineOut string) error {
+	tr := res.Trace
+	fmt.Printf("trace: %d events over %d PEs (%d dropped), %d timeline samples\n",
+		tr.Events(), tr.NumPEs, tr.Drops(), len(tr.Timeline.Samples))
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		name := func(tmpl int64) string {
+			if t := prog.Template(int(tmpl)); t != nil {
+				return t.Name
+			}
+			return ""
+		}
+		err = trace.WriteChrome(f, tr, name)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (open at https://ui.perfetto.dev)\n", traceOut)
+	}
+	if timelineOut != "" {
+		f, err := os.Create(timelineOut)
+		if err != nil {
+			return err
+		}
+		err = trace.WriteTimelineCSV(f, tr.Timeline)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s\n", timelineOut)
+	}
+	return nil
+}
+
+// serveMetrics starts the live-observability HTTP server: plain-text
+// /metrics, expvar's /debug/vars, and net/http/pprof's /debug/pprof (both
+// register on the default mux via their package init). Serving starts
+// before the run so a second machine can watch counters move mid-run.
+func serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.DefaultServeMux
+	mux.Handle("/metrics", cluster.MetricsHandler())
+	fmt.Printf("podsd metrics on http://%s/metrics\n", ln.Addr())
+	go func() {
+		if serr := http.Serve(ln, mux); serr != nil {
+			fmt.Fprintln(os.Stderr, "podsd: metrics server:", serr)
+		}
+	}()
 	return nil
 }
 

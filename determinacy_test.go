@@ -11,7 +11,8 @@
 // SPs, and the relax kernel, whose drifting skew makes the adapt-on column
 // actually move Range Filter bounds mid-run. The eviction columns run with
 // a two-page cap per shard, so CLOCK evictions and refetches really happen
-// inside these runs.
+// inside these runs. The trace column layers event recording and per-round
+// metric snapshots over all of it and must change nothing.
 package pods_test
 
 import (
@@ -171,6 +172,25 @@ func TestBackendAgreement(t *testing.T) {
 					t.Fatalf("cluster+evict+adapt+steal@%d: %v", pes, err)
 				}
 				assertSame(t, fmt.Sprintf("cluster+evict+adapt+steal@%d", pes), gather(t, k, "cluster+evict+adapt+steal", ceres.Array), want)
+
+				// The trace-on column: recording event rings and per-round
+				// metric snapshots on top of every dynamic mechanism must not
+				// perturb the computation — the trace frames are control-plane
+				// (they never move the four-counter sums), and a small ring
+				// exercises the drop-oldest path inside these runs too.
+				tres, err := p.ExecuteCluster(ctx, pods.ClusterConfig{
+					NumPEs: pes, PageElems: determinacyPage, CachePages: 2,
+					Adapt: true, Steal: true, Recover: true,
+					ProbeInterval: 20 * time.Microsecond,
+					Trace:         true, TraceCap: 256,
+				}, args...)
+				if err != nil {
+					t.Fatalf("cluster+trace@%d: %v", pes, err)
+				}
+				assertSame(t, fmt.Sprintf("cluster+trace@%d", pes), gather(t, k, "cluster+trace", tres.Array), want)
+				if tr := tres.Trace(); tr == nil || tr.Events() == 0 {
+					t.Fatalf("cluster+trace@%d: no trace events gathered", pes)
+				}
 			}
 		})
 	}

@@ -277,3 +277,65 @@ func TestAdaptShape(t *testing.T) {
 		t.Errorf("adapt csv: %s", b.String())
 	}
 }
+
+// TestTraceShape pins the TRACE experiment's headline claim: the flight
+// recorder is cheap enough to leave on. The instruction makespan is the
+// gate (wall clock is informational), and the ≤5% bound rides on steal
+// scheduling variance, so — like TestAdaptShape — the test accepts the
+// best of three attempts before failing.
+func TestTraceShape(t *testing.T) {
+	var r *TraceResult
+	for attempt := 1; ; attempt++ {
+		var err error
+		r, err = Trace(24, 4, 2, "relax")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err = r.Check(); err == nil {
+			break
+		}
+		t.Logf("attempt %d: %v", attempt, err)
+		if attempt == 3 {
+			t.Fatalf("trace overhead never cleared the bound in %d attempts: %v", attempt, err)
+		}
+	}
+	on := r.On["relax"]
+	if on.Events == 0 || on.Samples == 0 {
+		t.Fatalf("traced arm gathered no data: %+v", on)
+	}
+	if len(r.PEStats["relax"]) != 4 {
+		t.Fatalf("per-PE stats for %d PEs, want 4", len(r.PEStats["relax"]))
+	}
+	out := r.Format()
+	if !strings.Contains(out, "TRACE") || !strings.Contains(out, "overhead") {
+		t.Errorf("format output malformed:\n%s", out)
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "kernel,trace,wall_ms,makespan,overhead,events,drops,samples\n") {
+		t.Errorf("trace csv: %s", b.String())
+	}
+	b.Reset()
+	if err := r.WritePerPECSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "kernel,pe,instrs,") {
+		t.Errorf("per-pe csv: %s", b.String())
+	}
+	b.Reset()
+	if err := r.WriteChromeJSON(&b, "relax"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "[") {
+		t.Errorf("chrome json does not open an array: %.40s", b.String())
+	}
+	b.Reset()
+	if err := r.WriteTimelineCSV(&b, "relax"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "round,pe,wall_ms,") {
+		t.Errorf("timeline csv: %s", b.String())
+	}
+}

@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	ctrace "repro/internal/cluster/trace"
+	"repro/internal/kernels"
+)
+
+// The TRACE experiment measures what always-on observability costs: each
+// kernel runs with tracing off and on (event recorder + per-round metric
+// snapshots + driver-side timeline assembly) and reports the overhead
+// ratio. The claim under test is that tracing is cheap enough to leave on:
+// the instruction makespan — max per-PE executed instructions, the
+// deterministic speed-up proxy used by SKEW and ADAPT — must grow by at
+// most TraceOverheadLimit. Wall-clock times are reported informationally
+// (they are too noisy on an oversubscribed CI host to gate on). Each arm
+// runs Reps times and keeps the minimum, squeezing scheduler noise out of
+// both sides of the ratio.
+
+// TraceOverheadLimit is the acceptance bound on the makespan ratio of a
+// traced run over an untraced one.
+const TraceOverheadLimit = 1.05
+
+// TraceCell is one (kernel, tracing on/off) arm: best-of-Reps measurement.
+type TraceCell struct {
+	Wall     time.Duration // min over reps
+	Makespan int64         // min over reps of max per-PE executed instructions
+	Events   int           // trace events gathered (traced arm only)
+	Drops    int64         // events dropped to the ring bound (traced arm only)
+	Samples  int           // timeline samples assembled (traced arm only)
+}
+
+// TraceResult is the TRACE experiment output.
+type TraceResult struct {
+	N       int
+	PEs     int
+	Reps    int
+	Kernels []string
+	Off     map[string]TraceCell
+	On      map[string]TraceCell
+	// Overhead[kernel] = On.Makespan / Off.Makespan.
+	Overhead map[string]float64
+	// PEStats[kernel] is the traced arm's per-PE counter breakdown.
+	PEStats map[string][]cluster.PEStat
+
+	// Retained traced-arm data for artifact export.
+	traces map[string]*ctrace.Trace
+	names  map[string]func(tmpl int64) string
+}
+
+// traceKernels are the default workloads: the drifting-skew relax kernel
+// (steal + adapt traffic) and matmul (page-fetch traffic).
+var traceKernels = []string{"relax", "matmul"}
+
+// Trace runs the TRACE experiment at problem size n on pes PEs with work
+// stealing and adaptive repartitioning enabled (the busiest configuration —
+// every event kind fires). reps < 1 is clamped to 1.
+func Trace(n, pes, reps int, kerns ...string) (*TraceResult, error) {
+	if cluster.ForceTraceFromEnv() {
+		// The override would silently trace the control arm too, reporting
+		// a ~1.0 ratio as if tracing cost nothing.
+		return nil, fmt.Errorf("bench: TRACE needs a genuine untraced control arm; unset PODS_FORCE_TRACE")
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if len(kerns) == 0 {
+		kerns = traceKernels
+	}
+	r := &TraceResult{
+		N: n, PEs: pes, Reps: reps, Kernels: kerns,
+		Off:      make(map[string]TraceCell),
+		On:       make(map[string]TraceCell),
+		Overhead: make(map[string]float64),
+		PEStats:  make(map[string][]cluster.PEStat),
+		traces:   make(map[string]*ctrace.Trace),
+		names:    make(map[string]func(int64) string),
+	}
+	ctx := context.Background()
+	for _, kn := range kerns {
+		k, ok := kernels.ByName(kn)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown kernel %q", kn)
+		}
+		prog, err := Compile(k.File(), k.Source, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, traced := range []bool{false, true} {
+			cell := TraceCell{Wall: time.Duration(1<<63 - 1)}
+			for rep := 0; rep < reps; rep++ {
+				runCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+				start := time.Now()
+				res, err := cluster.Execute(runCtx, prog,
+					cluster.Config{NumPEs: pes, Steal: true, Adapt: true, Trace: traced},
+					k.Args(n)...)
+				cancel()
+				if err != nil {
+					return nil, fmt.Errorf("%s @%dPE trace=%v: %w", kn, pes, traced, err)
+				}
+				var mk int64
+				for _, v := range res.PEInstrs {
+					if v > mk {
+						mk = v
+					}
+				}
+				if wall := time.Since(start); wall < cell.Wall {
+					cell.Wall = wall
+				}
+				if cell.Makespan == 0 || mk < cell.Makespan {
+					cell.Makespan = mk
+				}
+				if res.Trace != nil {
+					cell.Events = res.Trace.Events()
+					cell.Drops = res.Trace.Drops()
+					cell.Samples = len(res.Trace.Timeline.Samples)
+					r.PEStats[kn] = res.PEStats
+					r.traces[kn] = res.Trace
+					p := prog
+					r.names[kn] = func(tmpl int64) string {
+						if t := p.Template(int(tmpl)); t != nil {
+							return t.Name
+						}
+						return ""
+					}
+				}
+			}
+			if traced {
+				r.On[kn] = cell
+			} else {
+				r.Off[kn] = cell
+			}
+		}
+		if off := r.Off[kn].Makespan; off > 0 {
+			r.Overhead[kn] = float64(r.On[kn].Makespan) / float64(off)
+		} else {
+			r.Overhead[kn] = 1
+		}
+	}
+	return r, nil
+}
+
+// Check enforces the acceptance bound: every kernel's traced makespan must
+// stay within TraceOverheadLimit of the untraced one.
+func (r *TraceResult) Check() error {
+	for _, kn := range r.Kernels {
+		if ov := r.Overhead[kn]; ov > TraceOverheadLimit {
+			return fmt.Errorf("bench: TRACE overhead on %s is %.3f× (limit %.2f×): traced makespan %d vs %d",
+				kn, ov, TraceOverheadLimit, r.On[kn].Makespan, r.Off[kn].Makespan)
+		}
+	}
+	return nil
+}
+
+// Format renders the experiment.
+func (r *TraceResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TRACE — observability overhead, n=%d @%d PEs steal+adapt, best of %d reps\n", r.N, r.PEs, r.Reps)
+	fmt.Fprintf(&b, "(makespan = max per-PE instrs; overhead = traced÷untraced makespan, limit %.2f×)\n\n", TraceOverheadLimit)
+	fmt.Fprintf(&b, "%-8s %-6s %12s %10s %9s %8s %6s %8s\n",
+		"kernel", "trace", "wall-ms", "makespan", "overhead", "events", "drops", "samples")
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+	}
+	for _, kn := range r.Kernels {
+		off, on := r.Off[kn], r.On[kn]
+		fmt.Fprintf(&b, "%-8s %-6s %12s %10d %9s %8s %6s %8s\n",
+			kn, "off", ms(off.Wall), off.Makespan, "", "", "", "")
+		fmt.Fprintf(&b, "%-8s %-6s %12s %10d %8.3fx %8d %6d %8d\n",
+			kn, "on", ms(on.Wall), on.Makespan, r.Overhead[kn], on.Events, on.Drops, on.Samples)
+	}
+	return b.String()
+}
+
+// WriteCSV emits kernel,trace,wall_ms,makespan,overhead,events,drops,samples rows.
+func (r *TraceResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, kn := range r.Kernels {
+		for i, cell := range []TraceCell{r.Off[kn], r.On[kn]} {
+			onOff, ov := "off", ""
+			if i == 1 {
+				onOff, ov = "on", fmtF(r.Overhead[kn])
+			}
+			rows = append(rows, []string{
+				kn, onOff,
+				fmtF(float64(cell.Wall.Microseconds()) / 1000),
+				strconv.FormatInt(cell.Makespan, 10),
+				ov,
+				strconv.Itoa(cell.Events),
+				strconv.FormatInt(cell.Drops, 10),
+				strconv.Itoa(cell.Samples),
+			})
+		}
+	}
+	return writeCSV(w, []string{"kernel", "trace", "wall_ms", "makespan", "overhead", "events", "drops", "samples"}, rows)
+}
+
+// WriteChromeJSON renders the named kernel's traced run in the Chrome
+// trace_event JSON array format (load at https://ui.perfetto.dev).
+func (r *TraceResult) WriteChromeJSON(w io.Writer, kernel string) error {
+	tr, ok := r.traces[kernel]
+	if !ok {
+		return fmt.Errorf("bench: no trace retained for kernel %q", kernel)
+	}
+	return ctrace.WriteChrome(w, tr, r.names[kernel])
+}
+
+// WriteTimelineCSV renders the named kernel's per-probe-round metrics
+// timeline as CSV.
+func (r *TraceResult) WriteTimelineCSV(w io.Writer, kernel string) error {
+	tr, ok := r.traces[kernel]
+	if !ok || tr.Timeline == nil {
+		return fmt.Errorf("bench: no timeline retained for kernel %q", kernel)
+	}
+	return ctrace.WriteTimelineCSV(w, tr.Timeline)
+}
+
+// WritePerPECSV emits the traced arm's per-PE counter breakdown — one row
+// per (kernel, PE) — so load-balance and locality claims are checkable per
+// worker rather than only as cluster-wide sums.
+func (r *TraceResult) WritePerPECSV(w io.Writer) error {
+	i64 := func(v int64) string { return strconv.FormatInt(v, 10) }
+	var rows [][]string
+	for _, kn := range r.Kernels {
+		for _, s := range r.PEStats[kn] {
+			rows = append(rows, []string{
+				kn, strconv.Itoa(s.PE), i64(s.Instrs), i64(s.Sent), i64(s.Recv),
+				i64(s.DeferredReads), i64(s.CacheHits), i64(s.CacheMisses),
+				i64(s.Evictions), i64(s.Refetches), i64(s.Steals), i64(s.Forwards),
+				i64(s.Replayed),
+			})
+		}
+	}
+	return writeCSV(w, []string{"kernel", "pe", "instrs", "sent", "recv", "deferred",
+		"hits", "misses", "evicts", "refetches", "steals", "forwards", "replayed"}, rows)
+}

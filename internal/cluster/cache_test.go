@@ -29,7 +29,7 @@ func pumpedRun(t *testing.T, k kernels.Kernel, n, pes int, steal, stealOne bool,
 	eps := newChanTransport(pes, 0)
 	ws := make([]*worker, pes)
 	for pe := range ws {
-		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], steal, false, cachePages)
+		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], workerOpts{steal: steal, cachePages: cachePages})
 		ws[pe].stealOne = stealOne
 	}
 	driver := eps[pes]

@@ -112,6 +112,30 @@ type Config struct {
 	// execution.
 	KillPE    int
 	KillAfter int64
+
+	// Trace enables the observability subsystem: every worker records
+	// scheduling/cache/steal/recovery events into a fixed-capacity ring
+	// (internal/cluster/trace), the driver assembles a per-probe-round
+	// metrics timeline from the acks, and the run's Result carries both for
+	// export (Chrome trace_event JSON, timeline CSV). Recording is
+	// allocation-free, bounded (overflow drops the oldest event and counts
+	// it), and executes no program instructions, so results stay
+	// bit-identical and overhead stays within a few percent. Off by
+	// default. The PODS_FORCE_TRACE environment variable ("1"/"true")
+	// forces it on, so a CI leg can run the whole test matrix with tracing
+	// engaged.
+	Trace bool
+
+	// TraceCap bounds each worker's trace ring in events (oldest dropped
+	// beyond it). Defaults to 4096 when Trace is set.
+	TraceCap int
+
+	// TraceSample records every TraceSample-th SP instance's dispatch and
+	// completion (the high-volume events); steals, page traffic, rebounds,
+	// epochs, and probes are always recorded. The sampling counter is
+	// deterministic, so a given schedule always samples the same
+	// instances. Defaults to 1 (record every SP).
+	TraceSample int
 }
 
 // fill applies the shared backend defaults and validates the result.
@@ -162,7 +186,45 @@ func (c *Config) fill() error {
 			c.Recover = true
 		}
 	}
+	if ForceTraceFromEnv() {
+		c.Trace = true
+	}
+	if c.TraceCap < 0 || c.TraceSample < 0 {
+		return fmt.Errorf("cluster: negative trace bound (cap %d, sample %d)", c.TraceCap, c.TraceSample)
+	}
+	if c.Trace {
+		if c.TraceCap == 0 {
+			c.TraceCap = 4096
+		}
+		if c.TraceSample == 0 {
+			c.TraceSample = 1
+		}
+	}
 	return nil
+}
+
+// workerOpts bundles the per-worker feature switches newWorker takes, so
+// the three spawn sites (in-process bring-up, channel respawn, TCP
+// ServeWorker) stay in sync as features accrete.
+type workerOpts struct {
+	steal       bool
+	adapt       bool
+	cachePages  int
+	trace       bool
+	traceCap    int
+	traceSample int
+}
+
+// workerOpts derives a worker's option set from a filled Config.
+func (c *Config) workerOpts() workerOpts {
+	return workerOpts{
+		steal:       c.Steal,
+		adapt:       c.Adapt,
+		cachePages:  c.CachePages,
+		trace:       c.Trace,
+		traceCap:    c.TraceCap,
+		traceSample: c.TraceSample,
+	}
 }
 
 // ForceKillFromEnv reports the PODS_FORCE_KILL_PE override: the PE index
@@ -201,6 +263,12 @@ func ForceStealFromEnv() bool { return forcedEnv("PODS_FORCE_STEAL") }
 // adaptation being genuinely off (bench.Adapt) test the exact condition
 // fill applies.
 func ForceAdaptFromEnv() bool { return forcedEnv("PODS_FORCE_ADAPT") }
+
+// ForceTraceFromEnv reports whether the PODS_FORCE_TRACE environment
+// override is active ("1" or "true"). Exported so experiment harnesses
+// whose control arms depend on tracing being genuinely off (bench.Trace's
+// overhead baseline) test the exact condition fill applies.
+func ForceTraceFromEnv() bool { return forcedEnv("PODS_FORCE_TRACE") }
 
 // ForceCachePagesFromEnv reports the PODS_FORCE_CACHE_PAGES override: a
 // positive integer page-cache cap applied to runs that leave

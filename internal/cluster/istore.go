@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/cluster/trace"
 	"repro/internal/isa"
 	"repro/internal/istructure"
 )
@@ -139,6 +140,7 @@ func (w *worker) execRead(sp *spInst, ins *isa.Instr) (suspended bool) {
 		return false
 	}
 	w.shard.CacheMisses++
+	w.rec(trace.EvPageFetch, h.ID, int64(h.PageOf(off)))
 	if w.recover {
 		// Track the in-flight read so it can be re-issued if the owner is
 		// respawned before answering (the entry clears on delivery).

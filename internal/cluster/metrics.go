@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Process-wide live metrics, published by every worker in this process at
+// each probe ack (delta-encoded, so restarts of the counters across recovery
+// epochs never subtract). Registered under expvar, which also exposes them
+// on /debug/vars wherever an HTTP server is running; MetricsHandler serves
+// the same counters as a plain-text /metrics endpoint, so the multi-
+// container CI topology can assert a worker is making progress mid-run with
+// one wget. In-process runs publish too — the counters are process-global
+// by design (a podsd worker process hosts exactly one worker at a time, and
+// a test binary's totals are still meaningful as totals).
+var (
+	mInstrs  = expvar.NewInt("pods_instrs_total")
+	mMsgs    = expvar.NewInt("pods_msgs_total")
+	mAcks    = expvar.NewInt("pods_acks_total")
+	mSteals  = expvar.NewInt("pods_steals_total")
+	mHits    = expvar.NewInt("pods_cache_hits_total")
+	mMisses  = expvar.NewInt("pods_cache_misses_total")
+	mEvicts  = expvar.NewInt("pods_evictions_total")
+	mReplays = expvar.NewInt("pods_replayed_total")
+)
+
+// pubCounters remembers the last counter values a worker pushed into the
+// process-wide metrics, so each probe publishes only the delta.
+type pubCounters struct {
+	instrs, msgs, steals, hits, misses, evicts, replays int64
+}
+
+// publishMetrics folds this worker's counter growth since the previous
+// probe into the process-wide expvar metrics. Deltas are clamped at zero:
+// a recovery epoch zeroes sent/recv, and a monotone total must not absorb
+// the negative step.
+func (w *worker) publishMetrics() {
+	delta := func(cur int64, prev *int64) int64 {
+		d := cur - *prev
+		*prev = cur
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	mInstrs.Add(delta(w.instrs, &w.pub.instrs))
+	mMsgs.Add(delta(w.sent+w.recv, &w.pub.msgs))
+	mSteals.Add(delta(w.steals, &w.pub.steals))
+	mHits.Add(delta(w.shard.CacheHits, &w.pub.hits))
+	mMisses.Add(delta(w.shard.CacheMisses, &w.pub.misses))
+	mEvicts.Add(delta(w.shard.Evictions, &w.pub.evicts))
+	mReplays.Add(delta(w.replayed, &w.pub.replays))
+	mAcks.Add(1)
+}
+
+// MetricsText writes every pods_* counter as one "name value" line,
+// alphabetically — the plain-text /metrics format.
+func MetricsText(w io.Writer) error {
+	var err error
+	expvar.Do(func(kv expvar.KeyValue) {
+		if err != nil || !strings.HasPrefix(kv.Key, "pods_") {
+			return
+		}
+		_, err = fmt.Fprintf(w, "%s %s\n", kv.Key, kv.Value.String())
+	})
+	return err
+}
+
+// MetricsHandler serves MetricsText over HTTP (the podsd -metrics
+// endpoint's /metrics route).
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = MetricsText(rw)
+	})
+}

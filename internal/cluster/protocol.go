@@ -161,6 +161,17 @@ const (
 	// requires exactly that (the ack's Flushed bit) before it will declare
 	// termination. Control-plane.
 	KFlush
+
+	// KTraceReq asks a worker to flush its trace ring to the driver. Sent
+	// after termination (the gather phase) or when a stalled probe round
+	// needs diagnostics. Control-plane: trace traffic must never move the
+	// four-counter sums, or tracing would perturb the runs it observes.
+	KTraceReq
+
+	// KTrace answers a trace request: TraceEvs is the worker's event ring
+	// flattened oldest-first (five int64 words per event), TraceDrops the
+	// count of events the ring's capacity bound discarded. Control-plane.
+	KTrace
 )
 
 func (k MsgKind) String() string {
@@ -211,6 +222,10 @@ func (k MsgKind) String() string {
 		return "stealDone"
 	case KFlush:
 		return "flush"
+	case KTraceReq:
+		return "traceReq"
+	case KTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(k))
 	}
@@ -264,6 +279,7 @@ type Msg struct {
 	Refetches  int64 // previously evicted pages fetched again (ack)
 	Replayed   int64 // SPs re-sent or re-instantiated for replacements (ack)
 	Flushed    bool  // epoch flush markers held from every peer (ack)
+	QDepth     int64 // ready-queue depth at the probe (ack)
 
 	// Adaptive repartitioning (spawn, costReport, rebound). A migrating
 	// SP's cost tag travels per StealItem in the grant batch.
@@ -294,6 +310,15 @@ type Msg struct {
 	Incs          []int32
 	Peers         []string
 	Prog          []byte
+
+	// Observability (init, trace). The init block carries the tracing
+	// configuration to remote workers; the trace block carries a flushed
+	// event ring back (trace.Recorder.Flatten layout).
+	Trace       bool
+	TraceCap    int32
+	TraceSample int32
+	TraceEvs    []int64
+	TraceDrops  int64
 }
 
 // StealItem is one SP instance migrating inside a KStealGrant batch: its
@@ -345,11 +370,19 @@ func (k MsgKind) hasStealBlock() bool {
 }
 
 // hasStatsBlock reports whether the kind carries the probe-answer counters
-// (Sent … Refetches) on the wire. Only the ack does; gating them spares
+// (Sent … QDepth) on the wire. Only the ack does; gating them spares
 // every hot data frame (tokens, writes, pages) the 76 always-zero bytes
 // the ten counters would cost. Round stays in the flat prefix — probes
 // carry it too.
 func (k MsgKind) hasStatsBlock() bool { return k == KAck }
+
+// hasInitBlock reports whether the kind carries the observability
+// configuration (Trace, TraceCap, TraceSample): only worker bring-up does.
+func (k MsgKind) hasInitBlock() bool { return k == KInit }
+
+// hasTraceBlock reports whether the kind carries a flushed trace ring
+// (TraceEvs, TraceDrops), gated like the other blocks.
+func (k MsgKind) hasTraceBlock() bool { return k == KTrace }
 
 // isData reports whether the kind is counted by termination detection.
 // Of the steal traffic, exactly the grant is data: a KStealGrant in flight
@@ -460,6 +493,7 @@ func encodeMsg(b []byte, m *Msg) []byte {
 		} else {
 			b = append(b, 0)
 		}
+		b = appendI64(b, m.QDepth)
 	}
 	if m.Kind.hasAdaptBlock() {
 		b = appendI64(b, m.Sweep)
@@ -523,6 +557,19 @@ func encodeMsg(b []byte, m *Msg) []byte {
 		for _, v := range m.Incs {
 			b = appendI32(b, v)
 		}
+	}
+	if m.Kind.hasInitBlock() {
+		if m.Trace {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendI32(b, m.TraceCap)
+		b = appendI32(b, m.TraceSample)
+	}
+	if m.Kind.hasTraceBlock() {
+		b = appendI64s(b, m.TraceEvs)
+		b = appendI64(b, m.TraceDrops)
 	}
 	b = appendU32(b, uint32(len(m.Peers)))
 	for _, p := range m.Peers {
@@ -674,6 +721,7 @@ func decodeMsg(b []byte) (*Msg, error) {
 		m.Refetches = r.i64()
 		m.Replayed = r.i64()
 		m.Flushed = r.u8() != 0
+		m.QDepth = r.i64()
 	}
 	if m.Kind.hasAdaptBlock() {
 		m.Sweep = r.i64()
@@ -727,6 +775,15 @@ func decodeMsg(b []byte) (*Msg, error) {
 				m.Incs[i] = r.i32()
 			}
 		}
+	}
+	if m.Kind.hasInitBlock() {
+		m.Trace = r.u8() != 0
+		m.TraceCap = r.i32()
+		m.TraceSample = r.i32()
+	}
+	if m.Kind.hasTraceBlock() {
+		m.TraceEvs = r.i64s()
+		m.TraceDrops = r.i64()
 	}
 	if n := r.sliceLen(4); n > 0 {
 		m.Peers = make([]string, n)

@@ -210,7 +210,7 @@ type chanRespawner struct {
 func (r *chanRespawner) respawn(pe int, inc, epoch int32, incs []int32) ([]string, error) {
 	ep := r.t.replace(pe)
 	r.eps = append(r.eps, ep)
-	w := newWorker(pe, r.cfg.NumPEs, r.geo, r.prog, ep, r.cfg.Steal, r.cfg.Adapt, r.cfg.CachePages)
+	w := newWorker(pe, r.cfg.NumPEs, r.geo, r.prog, ep, r.cfg.workerOpts())
 	w.enableRecovery(inc, epoch, incs)
 	r.wg.Add(1)
 	go func() {

@@ -164,7 +164,7 @@ func main(n: int) {
 	A[1] = 1.0;
 }`)
 	eps := newChanTransport(2, 0)
-	w := newWorker(0, 2, rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}, prog, eps[0], true, false, 0)
+	w := newWorker(0, 2, rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}, prog, eps[0], workerOpts{steal: true})
 	w.enableRecovery(0, 0, incs)
 	return w, eps
 }

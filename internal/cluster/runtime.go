@@ -3,9 +3,11 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster/trace"
 	"repro/internal/isa"
 	"repro/internal/istructure"
 	"repro/internal/rtcfg"
@@ -25,6 +27,22 @@ type Stats struct {
 	Rebounds      int64 // adaptive Range-Filter cut broadcasts (Config.Adapt)
 	Recoveries    int64 // worker deaths survived by respawn + replay (Config.Recover)
 	ReplayedSPs   int64 // root assignments replayed against replacement workers
+}
+
+// PEStat is one worker's counter breakdown from its final probe answer —
+// the per-PE decomposition of the cluster-wide Stats sums.
+type PEStat struct {
+	PE            int
+	Instrs        int64
+	Sent, Recv    int64
+	DeferredReads int64
+	CacheHits     int64
+	CacheMisses   int64
+	Evictions     int64
+	Refetches     int64
+	Steals        int64
+	Forwards      int64
+	Replayed      int64
 }
 
 // gathered is one assembled array after a run.
@@ -70,6 +88,15 @@ type Result struct {
 	// load distribution (the SKEW experiment derives its balance metric
 	// from it).
 	PEInstrs []int64
+
+	// PEStats is each worker's full counter breakdown (the per-PE
+	// decomposition of Stats).
+	PEStats []PEStat
+
+	// Trace holds the run's observability data when Config.Trace was set:
+	// every PE's gathered event ring plus the per-probe-round metrics
+	// timeline. Nil when tracing was off.
+	Trace *trace.Trace
 
 	arrays  map[int64]*gathered
 	byName  map[string]int64
@@ -142,7 +169,7 @@ func Execute(ctx context.Context, prog *isa.Program, cfg Config, args ...isa.Val
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	for pe := 0; pe < cfg.NumPEs; pe++ {
-		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], cfg.Steal, cfg.Adapt, cfg.CachePages)
+		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], cfg.workerOpts())
 		if cfg.Recover {
 			w.enableRecovery(0, 0, nil)
 		}
@@ -188,6 +215,38 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	ad := newAdaptCoord(n)
 	rec := newRecovery(n, cfg.Recover, rsp)
 	rec.peers = append([]string(nil), cfg.Workers...)
+
+	// Observability (Config.Trace): the timeline builder turns each
+	// completed probe round's acks into one delta-encoded sample per PE;
+	// prevAcks holds the previous completed round's counters the deltas are
+	// taken against.
+	var tb *trace.TimelineBuilder
+	var prevAcks []ackState
+	driverStart := time.Now()
+	if cfg.Trace {
+		tb = trace.NewTimelineBuilder(timelineCap)
+		prevAcks = make([]ackState, n)
+	}
+	sampleTimeline := func(round int32) {
+		if tb == nil {
+			return
+		}
+		wall := int64(time.Since(driverStart))
+		for pe := 0; pe < n; pe++ {
+			a, p := det.acks[pe], prevAcks[pe]
+			// A recovery epoch zeroes sent/recv mid-run; clamp so the
+			// reset never shows up as negative traffic.
+			d := func(cur, prev int64) int64 { return max(cur-prev, 0) }
+			tb.Add(trace.Sample{
+				Round: int(round), Wall: wall, PE: pe,
+				Instrs: d(a.instrs, p.instrs), QDepth: a.qdepth, Live: int64(a.live),
+				Sent: d(a.sent, p.sent), Hits: d(a.hits, p.hits),
+				Misses: d(a.misses, p.misses), Evicts: d(a.evicts, p.evicts),
+				Steals: d(a.steals, p.steals),
+			})
+			prevAcks[pe] = a
+		}
+	}
 	stopAll := func() {
 		for pe := 0; pe < n; pe++ {
 			_ = ep.Send(pe, &Msg{Kind: KStop})
@@ -319,11 +378,21 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 					down = det.unacked()
 					break
 				}
-				stopAll()
 				if stalled {
-					return nil, fmt.Errorf("cluster: probe round %d stalled for %v (worker dead or wedged?): %s",
-						round, cfg.RoundTimeout, det.stallReport())
+					// With tracing on, pull each PE's last trace events
+					// before tearing the cluster down: a wedged-but-alive
+					// worker still answers KTraceReq from its message loop,
+					// and the event tail says what it was doing when the
+					// round stalled — far more than last-ack counters can.
+					diag := ""
+					if cfg.Trace {
+						diag = stallTraceDump(ctx, ep, n, rec)
+					}
+					stopAll()
+					return nil, fmt.Errorf("cluster: probe round %d stalled for %v (worker dead or wedged?): %s%s",
+						round, cfg.RoundTimeout, det.stallReport(), diag)
 				}
+				stopAll()
 				return nil, fmt.Errorf("cluster: run cancelled (deadlocked dataflow program? %d live SPs): %w", det.liveSPs(), err)
 			}
 			if herr := handle(m); herr != nil {
@@ -341,6 +410,7 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			interval = cfg.ProbeInterval
 			continue
 		}
+		sampleTimeline(round)
 		if det.roundDone() {
 			break
 		}
@@ -390,6 +460,7 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	res.Stats.Recoveries = rec.recoveries
 	res.Stats.ReplayedSPs += rec.replayed
 	res.PEInstrs = det.perPEInstrs()
+	res.PEStats = det.perPEStats()
 
 	// Gather: ask each owning PE for its segment of every array.
 	expect := 0
@@ -438,8 +509,89 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			return nil, fmt.Errorf("cluster: worker %d died during result gather (its finished segments are lost)", down[0])
 		}
 	}
+	// Trace gather rides behind the array gather (same FIFO streams, so
+	// every PE's ring is final by the time its answer arrives). Collection
+	// is best-effort: the run's results are already in hand, and a PE that
+	// cannot answer any more costs an empty trace, never the run.
+	if cfg.Trace {
+		pts := gatherTraces(ctx, ep, n, traceGatherWait(cfg.RoundTimeout), rec)
+		res.Trace = &trace.Trace{NumPEs: n, PEs: pts, Timeline: tb.Done()}
+	}
 	stopAll()
 	return res, nil
+}
+
+// timelineCap bounds the driver-side metrics timeline in samples (one per
+// PE per completed probe round); the oldest rounds drop (and are counted)
+// beyond it.
+const timelineCap = 1 << 16
+
+// stallTailEvents is how many trailing trace events per PE a stalled
+// round's diagnostic dump includes.
+const stallTailEvents = 8
+
+// traceGatherWait bounds each receive of the post-termination trace
+// gather. The run is already complete, so the wait only covers a flush of
+// an in-memory ring: far shorter than a full round deadline.
+func traceGatherWait(roundTimeout time.Duration) time.Duration {
+	w := 2 * time.Second
+	if roundTimeout > 0 && roundTimeout < w {
+		w = roundTimeout
+	}
+	if w < 100*time.Millisecond {
+		w = 100 * time.Millisecond
+	}
+	return w
+}
+
+// gatherTraces asks every worker for its trace ring and collects the
+// answers best-effort: a PE that cannot answer (dead, or wedged below its
+// message loop) contributes an empty PETrace instead of failing the
+// gather. Driver-bound frames of any other kind arriving in the window are
+// stale post-termination traffic and are dropped.
+func gatherTraces(ctx context.Context, ep Endpoint, n int, wait time.Duration, rec *recovery) []trace.PETrace {
+	out := make([]trace.PETrace, n)
+	got := make([]bool, n)
+	need := 0
+	for pe := 0; pe < n; pe++ {
+		if err := ep.Send(pe, &Msg{Kind: KTraceReq}); err == nil {
+			need++
+		}
+	}
+	for need > 0 {
+		m, _, err := recvStallGuarded(ctx, ep, wait)
+		if err != nil {
+			break
+		}
+		if rec != nil && rec.fenced(m) {
+			continue
+		}
+		if m.Kind != KTrace {
+			continue
+		}
+		pe := int(m.From)
+		if pe < 0 || pe >= n || got[pe] {
+			continue
+		}
+		got[pe] = true
+		need--
+		out[pe] = trace.PETrace{Events: trace.Unflatten(m.TraceEvs), Drops: m.TraceDrops}
+	}
+	return out
+}
+
+// stallTraceDump formats each PE's trailing trace events for a stalled
+// round's error message. The wait per receive is short: the PEs that can
+// still talk answer immediately, and the one the round is stalled on
+// probably never will.
+func stallTraceDump(ctx context.Context, ep Endpoint, n int, rec *recovery) string {
+	pts := gatherTraces(ctx, ep, n, 500*time.Millisecond, rec)
+	var b strings.Builder
+	for pe := range pts {
+		fmt.Fprintf(&b, "\n  pe %d trace tail (%d events, %d dropped):\n%s",
+			pe, len(pts[pe].Events), pts[pe].Drops, trace.FormatTail(pts[pe].Events, stallTailEvents))
+	}
+	return b.String()
 }
 
 // recvStallGuarded receives one driver-bound message, bounding the wait to

@@ -116,8 +116,8 @@ func TestStealProtocolGrantForwardLateToken(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true, false, 0)
+	w0 := newWorker(0, 2, geo, prog, eps[0], workerOpts{steal: true})
+	w1 := newWorker(1, 2, geo, prog, eps[1], workerOpts{steal: true})
 	driver := eps[2]
 	// drainOnly delivers pending messages without running ready SPs, so
 	// the test controls exactly when instances start executing.
@@ -226,8 +226,8 @@ func TestStealBackClearsStaleStub(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true, false, 0)
+	w0 := newWorker(0, 2, geo, prog, eps[0], workerOpts{steal: true})
+	w1 := newWorker(1, 2, geo, prog, eps[1], workerOpts{steal: true})
 	driver := eps[2]
 	drainOnly := func(w *worker, ep Endpoint) {
 		for {
@@ -302,8 +302,8 @@ func TestStealDeclinedWhenUnloaded(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true, false, 0)
+	w0 := newWorker(0, 2, geo, prog, eps[0], workerOpts{steal: true})
+	w1 := newWorker(1, 2, geo, prog, eps[1], workerOpts{steal: true})
 	driver := eps[2]
 	pump := func() {
 		for pumpWorker(w0, eps[0]) || pumpWorker(w1, eps[1]) {
@@ -403,7 +403,7 @@ func TestStealDeterminacyPumpedTriangular(t *testing.T) {
 	eps := newChanTransport(pes, 0)
 	ws := make([]*worker, pes)
 	for pe := range ws {
-		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], true, false, 0)
+		ws[pe] = newWorker(pe, pes, geo, prog, eps[pe], workerOpts{steal: true})
 	}
 	driver := eps[pes]
 
@@ -598,8 +598,8 @@ func TestStealGrantBatchHalfOldestFirst(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
-	w1 := newWorker(1, 2, geo, prog, eps[1], true, false, 0)
+	w0 := newWorker(0, 2, geo, prog, eps[0], workerOpts{steal: true})
+	w1 := newWorker(1, 2, geo, prog, eps[1], workerOpts{steal: true})
 	driver := eps[2]
 	for i := 0; i < 5; i++ {
 		if err := driver.Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
@@ -652,7 +652,7 @@ func TestStealLocalityPreference(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	w0 := newWorker(0, 2, geo, prog, eps[0], workerOpts{steal: true})
 	// Three unstarted SPs whose first operand is an array handle; only the
 	// second references the thief's hot array 77.
 	for _, arr := range []int64{55, 77, 55} {
@@ -694,7 +694,7 @@ func TestStealMidDequeGrantNoShift(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	w0 := newWorker(0, 2, geo, prog, eps[0], workerOpts{steal: true})
 	for i := 0; i < 3; i++ {
 		if err := eps[2].Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
 			Args: []isa.Value{isa.SPRef(0), isa.Float(0)}}); err != nil {
@@ -733,7 +733,7 @@ func TestReadyDequeBoundedGrowth(t *testing.T) {
 	prog := taskProgram()
 	eps := newChanTransport(2, 0)
 	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
-	w0 := newWorker(0, 2, geo, prog, eps[0], true, false, 0)
+	w0 := newWorker(0, 2, geo, prog, eps[0], workerOpts{steal: true})
 	spawn := func() {
 		if err := eps[2].Send(0, &Msg{Kind: KSpawn, Tmpl: 0,
 			Args: []isa.Value{isa.SPRef(0), isa.Float(0)}}); err != nil {

@@ -165,6 +165,9 @@ func initMsg(cfg *Config, pe int, epoch int32, incs []int32, peers []string, pro
 		Steal:         cfg.Steal,
 		Adapt:         cfg.Adapt,
 		Recover:       cfg.Recover,
+		Trace:         cfg.Trace,
+		TraceCap:      int32(cfg.TraceCap),
+		TraceSample:   int32(cfg.TraceSample),
 		Epoch:         epoch,
 		Incs:          incs,
 		Peers:         append([]string(nil), peers...),
@@ -375,7 +378,14 @@ func ServeWorker(ctx context.Context, ln net.Listener) error {
 		PageElems:     int(init.PageElems),
 		DistThreshold: int(init.DistThreshold),
 	}
-	w := newWorker(int(init.PE), t.n, geo, prog, t, init.Steal, init.Adapt, int(init.CachePages))
+	w := newWorker(int(init.PE), t.n, geo, prog, t, workerOpts{
+		steal:       init.Steal,
+		adapt:       init.Adapt,
+		cachePages:  int(init.CachePages),
+		trace:       init.Trace,
+		traceCap:    int(init.TraceCap),
+		traceSample: int(init.TraceSample),
+	})
 	if init.Recover {
 		// A spare joining mid-run learns its own incarnation from the
 		// vector; an original worker starts at incarnation 0, epoch 0.

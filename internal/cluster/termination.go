@@ -33,6 +33,7 @@ type ackState struct {
 	refetches  int64
 	replayed   int64
 	flushed    bool
+	qdepth     int64
 }
 
 // detector accumulates probe rounds and decides termination.
@@ -87,7 +88,7 @@ func (d *detector) record(pe int, m *Msg) bool {
 		deferred: m.Deferred, hits: m.Hits, misses: m.Misses,
 		steals: m.Steals, forwards: m.Forwards, instrs: m.Instrs,
 		evicts: m.Evicts, refetches: m.Refetches, replayed: m.Replayed,
-		flushed: m.Flushed,
+		flushed: m.Flushed, qdepth: m.QDepth,
 	}
 	d.got++
 	return d.got == len(d.acks)
@@ -190,6 +191,22 @@ func (d *detector) perPEInstrs() []int64 {
 	out := make([]int64, len(d.acks))
 	for i, a := range d.acks {
 		out[i] = a.instrs
+	}
+	return out
+}
+
+// perPEStats reports each worker's full counter breakdown from the latest
+// acks — the per-PE half of Result.Stats, so balance claims are checkable
+// per worker instead of only as cluster-wide sums.
+func (d *detector) perPEStats() []PEStat {
+	out := make([]PEStat, len(d.acks))
+	for i, a := range d.acks {
+		out[i] = PEStat{
+			PE: i, Instrs: a.instrs, Sent: a.sent, Recv: a.recv,
+			DeferredReads: a.deferred, CacheHits: a.hits, CacheMisses: a.misses,
+			Evictions: a.evicts, Refetches: a.refetches,
+			Steals: a.steals, Forwards: a.forwards, Replayed: a.replayed,
+		}
 	}
 	return out
 }

@@ -188,7 +188,7 @@ func main(n: int) {
 	defer cancel()
 	var wg sync.WaitGroup
 	for pe := 0; pe < cfg.NumPEs; pe++ {
-		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], false, false, 0)
+		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], workerOpts{})
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -237,7 +237,7 @@ func TestDriveRoundDeadlineReportsSilentWorker(t *testing.T) {
 	// mailbox — the equivalent of a worker dying mid-round (its acks are
 	// dropped forever).
 	var wg sync.WaitGroup
-	w0 := newWorker(0, cfg.NumPEs, geo, prog, eps[0], false, false, 0)
+	w0 := newWorker(0, cfg.NumPEs, geo, prog, eps[0], workerOpts{})
 	wg.Add(1)
 	go func() {
 		defer wg.Done()

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/rtcfg"
+)
+
+// TestStallDumpIncludesTraceTails: when a traced run stalls on the probe
+// round deadline, the error must carry each reachable PE's last trace
+// events — the stall diagnostic a flight recorder exists for.
+func TestStallDumpIncludesTraceTails(t *testing.T) {
+	prog := taskProgram()
+	cfg := Config{NumPEs: 2, ProbeInterval: time.Millisecond,
+		RoundTimeout: 150 * time.Millisecond, Trace: true}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.RoundTimeout = 150 * time.Millisecond
+
+	eps := newChanTransport(cfg.NumPEs, 0)
+	geo := rtcfg.Geometry{PEs: cfg.NumPEs, PageElems: cfg.PageElems, DistThreshold: cfg.DistThreshold}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Only PE 0 runs; PE 1 never serves its mailbox (a dead worker). PE 0
+	// can still answer the trace gather, so its tail must appear.
+	var wg sync.WaitGroup
+	w0 := newWorker(0, cfg.NumPEs, geo, prog, eps[0], cfg.workerOpts())
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w0.run(ctx)
+	}()
+
+	_, err := drive(ctx, eps[cfg.NumPEs], cfg, prog.Entry(), []isa.Value{isa.SPRef(0), isa.Float(0)}, nil)
+	if err == nil {
+		t.Fatal("drive returned no error although PE 1 never acked")
+	}
+	for _, want := range []string{"stalled", "pe 0 trace tail", "pe 1 trace tail", "(no trace events)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("stall error missing %q:\n%v", want, err)
+		}
+	}
+	cancel()
+	wg.Wait()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// TestMetricsTextPublishes: after a run the process-wide /metrics text must
+// list every pods_* counter, with instruction and ack totals moving.
+func TestMetricsTextPublishes(t *testing.T) {
+	prog := compile(t, "m.id", `
+func main(n: int) {
+	A = array(n);
+	for i = 1 to n { A[i] = i * 2; }
+}`)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := Execute(ctx, prog, Config{NumPEs: 2}, isa.Int(16)); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := MetricsText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, name := range []string{"pods_instrs_total", "pods_msgs_total", "pods_acks_total",
+		"pods_steals_total", "pods_cache_hits_total", "pods_cache_misses_total",
+		"pods_evictions_total", "pods_replayed_total"} {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("/metrics text missing %s:\n%s", name, text)
+		}
+	}
+	for _, want := range []string{"pods_instrs_total 0\n", "pods_acks_total 0\n"} {
+		if strings.Contains(text, want) {
+			t.Errorf("counter stuck at zero after a run: %q in\n%s", want, text)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/cluster/trace"
 	"repro/internal/isa"
 	"repro/internal/istructure"
 	"repro/internal/rtcfg"
@@ -57,6 +58,12 @@ type spInst struct {
 	costLoop  int32
 	costSweep int64
 	costIter  int64
+
+	// traced is the tracing decision for this instance's dispatch/complete
+	// events: 0 undecided (made at first dispatch by the recorder's
+	// deterministic sampler), 1 record, -1 skip. Deciding once per instance
+	// keeps dispatch/complete pairs exact under sampling.
+	traced int8
 
 	// rbOn/rbLo/rbHi are explicit adaptive Range-Filter bounds stamped on
 	// a distributed copy at fan-out: when set, the copy's RF instructions
@@ -192,8 +199,28 @@ type worker struct {
 	// sliceSteps counts step() calls since the last cooperative yield.
 	sliceSteps int
 
+	// tr is the observability event recorder (Config.Trace); nil when
+	// tracing is off, so every hook is a single nil check. pub remembers
+	// the counter values already published to the process-wide expvar
+	// metrics, so each probe ack publishes only the delta.
+	tr  *trace.Recorder
+	pub pubCounters
+
 	failed  bool
 	stopped bool
+}
+
+// rec records one trace event when tracing is on. The worker's instruction
+// counter is the event's deterministic timestamp.
+func (w *worker) rec(k trace.Kind, arg0, arg1 int64) {
+	if w.tr != nil {
+		w.tr.Record(k, w.instrs, arg0, arg1)
+	}
+}
+
+// qdepth reports the live ready-queue depth (tombstones excluded).
+func (w *worker) qdepth() int64 {
+	return int64(len(w.ready) - w.readyHead - w.readyNil)
 }
 
 // costKey identifies one cost-accounting bucket: the Range-Filtered loop
@@ -247,15 +274,15 @@ type fanoutRec struct {
 	cuts  []int64
 }
 
-func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, steal, adapt bool, cachePages int) *worker {
+func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, opts workerOpts) *worker {
 	w := &worker{
 		pe:          pe,
 		n:           n,
 		geo:         geo,
 		prog:        prog,
 		ep:          ep,
-		steal:       steal && n > 1,
-		adapt:       adapt && n > 1,
+		steal:       opts.steal && n > 1,
+		adapt:       opts.adapt && n > 1,
 		shard:       istructure.NewShard(pe),
 		insts:       make(map[int64]*spInst),
 		waitArray:   make(map[int64][]*spInst),
@@ -265,7 +292,15 @@ func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, st
 		costAcc:     make(map[costKey]int64),
 		stealVictim: pe, // first attempt targets (pe+1) mod n
 	}
-	w.shard.CacheCap = cachePages
+	w.shard.CacheCap = opts.cachePages
+	if opts.trace {
+		w.tr = trace.New(opts.traceCap, opts.traceSample)
+		// The shard's eviction point is the one place a cached page dies;
+		// hooking it there catches both InstallPage paths.
+		w.shard.OnEvict = func(arr int64, page int) {
+			w.tr.Record(trace.EvPageEvict, w.instrs, arr, int64(page))
+		}
+	}
 	return w
 }
 
@@ -303,6 +338,7 @@ func (w *worker) bumpEpoch(epoch int32) {
 	w.epoch = epoch
 	w.sent, w.recv = 0, 0
 	w.recovered = true
+	w.rec(trace.EvEpoch, int64(epoch), 0)
 	if w.flushFrom != nil {
 		clear(w.flushFrom)
 		w.flushed = 0
@@ -505,6 +541,7 @@ func (w *worker) maybeSteal() {
 		w.stealVictim = (w.stealVictim + 1) % w.n
 	}
 	w.stealOutstanding = true
+	w.rec(trace.EvStealReq, int64(w.stealVictim), 0)
 	// The request advertises which arrays are hot here (resident cached
 	// pages), so the victim can prefer granting SPs whose operands this
 	// worker already holds — a stolen iteration that reads a hot array
@@ -656,6 +693,7 @@ func (w *worker) handleStealReq(m *Msg) {
 			w.grantLog[sp.id] = grantRec{item: it, thief: thief, from: sp.grantedFrom}
 		}
 	}
+	w.rec(trace.EvStealGrant, int64(thief), int64(len(items)))
 	w.send(thief, &Msg{Kind: KStealGrant, Batch: items})
 }
 
@@ -819,6 +857,7 @@ func (w *worker) installStolen(m *Msg) {
 		w.fail(errors.New("empty steal grant"))
 		return
 	}
+	w.rec(trace.EvStealIn, int64(m.From), int64(len(m.Batch)))
 	for i := range m.Batch {
 		it := &m.Batch[i]
 		tmpl := w.prog.Template(int(it.Tmpl))
@@ -942,6 +981,8 @@ func (w *worker) handle(m *Msg) {
 		// time it evaluates the round, so a rebind decision made at a
 		// round boundary never misses costs the round's acks imply.
 		w.flushCosts()
+		w.rec(trace.EvProbe, int64(m.Round), w.qdepth())
+		w.publishMetrics()
 		w.send(w.driverID(), &Msg{
 			Kind:      KAck,
 			Round:     m.Round,
@@ -958,6 +999,7 @@ func (w *worker) handle(m *Msg) {
 			Refetches: w.shard.Refetches,
 			Replayed:  w.replayed,
 			Flushed:   w.epochFlushed(),
+			QDepth:    w.qdepth(),
 		})
 
 	case KStealReq:
@@ -970,6 +1012,7 @@ func (w *worker) handle(m *Msg) {
 		w.stealOutstanding = false
 		w.stealFails++
 		w.stealWait = w.stealFails
+		w.rec(trace.EvStealNone, int64(m.From), 0)
 
 	case KRebound:
 		if len(m.Cuts) != w.n-1 {
@@ -980,6 +1023,7 @@ func (w *worker) handle(m *Msg) {
 			w.cuts = make(map[int][]int64)
 		}
 		w.cuts[int(m.Tmpl)] = m.Cuts
+		w.rec(trace.EvRebound, int64(m.Tmpl), 0)
 
 	case KRecover:
 		w.applyRecover(m)
@@ -995,6 +1039,17 @@ func (w *worker) handle(m *Msg) {
 
 	case KStealDone:
 		w.handleStealDone(m)
+
+	case KTraceReq:
+		// Flush the trace ring to the driver. A worker without a recorder
+		// answers with an empty frame so the driver's gather never waits on
+		// a PE that has nothing to say.
+		ans := &Msg{Kind: KTrace}
+		if w.tr != nil {
+			ans.TraceEvs = w.tr.Flatten()
+			ans.TraceDrops = w.tr.Drops()
+		}
+		w.send(w.driverID(), ans)
 
 	case KDumpReq:
 		w.handleDumpReq(m)
@@ -1248,6 +1303,25 @@ func (w *worker) step() {
 	if w.readyHead == len(w.ready) {
 		w.ready = w.ready[:0]
 		w.readyHead, w.readyNil = 0, 0
+	}
+
+	// Tracing: the sampling decision is made once per instance at its first
+	// dispatch, so a sampled instance contributes every dispatch/complete
+	// pair and an unsampled one contributes nothing — exact pairing at any
+	// sampling rate. A resumed instance records a fresh dispatch; the
+	// exporter pairs the completion with the last one (the final run
+	// segment) and keeps earlier segments as instants.
+	if w.tr != nil {
+		if sp.traced == 0 {
+			if w.tr.SampleSP() {
+				sp.traced = 1
+			} else {
+				sp.traced = -1
+			}
+		}
+		if sp.traced == 1 {
+			w.tr.Record(trace.EvSPDispatch, w.instrs, sp.id, int64(sp.tmpl.ID))
+		}
 	}
 
 	// Cost attribution: a tagged instance charges every completed
@@ -1514,6 +1588,9 @@ func (w *worker) step() {
 			w.route(ref.I, int(base+ins.Imm.I), f[ins.B])
 
 		case isa.HALT:
+			if sp.traced == 1 {
+				w.tr.Record(trace.EvSPComplete, w.instrs, sp.id, int64(sp.tmpl.ID))
+			}
 			delete(w.insts, sp.id)
 			if sp.stolen {
 				w.halted[sp.id] = struct{}{}

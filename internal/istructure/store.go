@@ -54,6 +54,11 @@ type Shard struct {
 	// broken and keeps failing loudly.
 	Idempotent bool
 
+	// OnEvict, when non-nil, observes every page eviction (the cluster's
+	// trace recorder hooks it). Called from evictAt, the single point a
+	// cached page leaves the shard, with the page's array ID and index.
+	OnEvict func(arr int64, page int)
+
 	// clock is the CLOCK ring over resident cached pages: hand sweeps it
 	// clearing reference bits until it finds an unreferenced victim. New
 	// pages enter unreferenced, so a page that is never probed again after
@@ -391,6 +396,9 @@ func (s *Shard) evictAt(i int) {
 	}
 	s.evicted[pageKey{slot.arr, slot.page}] = struct{}{}
 	s.Evictions++
+	if s.OnEvict != nil {
+		s.OnEvict(slot.arr, slot.page)
+	}
 }
 
 // CachedPages returns the number of resident cached remote pages — the

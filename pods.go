@@ -29,8 +29,10 @@ package pods
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/trace"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/isa"
@@ -155,11 +157,21 @@ func (p *Program) Execute(ctx context.Context, cfg RunConfig, args ...Value) (*E
 	return &ExecResult{Value: v, rt: rt}, nil
 }
 
+// ClusterTrace is a cluster run's gathered observability data (per-PE
+// event streams plus the per-probe-round metrics timeline).
+type ClusterTrace = trace.Trace
+
+// ClusterPEStat is one worker's counter breakdown from a cluster run.
+type ClusterPEStat = cluster.PEStat
+
 // ClusterResult is a completed distributed-memory (message-passing) run.
 type ClusterResult struct {
 	// Value is the program's returned value (nil for void main).
 	Value *Value
 	res   *cluster.Result
+
+	// tmplName labels SP templates in trace exports.
+	tmplName func(tmpl int64) string
 }
 
 // Array gathers a named array written by the program.
@@ -179,6 +191,37 @@ func (r *ClusterResult) Stats() cluster.Stats { return r.res.Stats }
 // skewed kernel.
 func (r *ClusterResult) PEInstrs() []int64 { return append([]int64(nil), r.res.PEInstrs...) }
 
+// PEStats reports each worker's full counter breakdown — the per-PE
+// decomposition of Stats, so balance and locality claims are checkable per
+// worker rather than only as cluster-wide sums.
+func (r *ClusterResult) PEStats() []ClusterPEStat {
+	return append([]ClusterPEStat(nil), r.res.PEStats...)
+}
+
+// Trace returns the run's observability data, or nil when the run was not
+// traced (ClusterConfig.Trace unset).
+func (r *ClusterResult) Trace() *ClusterTrace { return r.res.Trace }
+
+// WriteChromeTrace renders the run's trace in the Chrome trace_event JSON
+// array format — load the file at https://ui.perfetto.dev (or
+// chrome://tracing) to browse per-PE SP execution slices, steal and page
+// traffic, and utilization counter tracks.
+func (r *ClusterResult) WriteChromeTrace(w io.Writer) error {
+	if r.res.Trace == nil {
+		return fmt.Errorf("pods: run was not traced (set ClusterConfig.Trace)")
+	}
+	return trace.WriteChrome(w, r.res.Trace, r.tmplName)
+}
+
+// WriteTimelineCSV renders the run's per-probe-round metrics timeline as
+// CSV (one row per round per PE).
+func (r *ClusterResult) WriteTimelineCSV(w io.Writer) error {
+	if r.res.Trace == nil || r.res.Trace.Timeline == nil {
+		return fmt.Errorf("pods: run was not traced (set ClusterConfig.Trace)")
+	}
+	return trace.WriteTimelineCSV(w, r.res.Trace.Timeline)
+}
+
 // ExecuteCluster runs the program on the message-passing distributed-memory
 // runtime: cfg.NumPEs share-nothing workers over an in-process channel
 // transport, or — when cfg.Workers lists addresses — TCP workers running as
@@ -189,7 +232,14 @@ func (p *Program) ExecuteCluster(ctx context.Context, cfg ClusterConfig, args ..
 	if err != nil {
 		return nil, err
 	}
-	return &ClusterResult{Value: res.Value, res: res}, nil
+	prog := p.sys.Program
+	name := func(tmpl int64) string {
+		if t := prog.Template(int(tmpl)); t != nil {
+			return t.Name
+		}
+		return ""
+	}
+	return &ClusterResult{Value: res.Value, res: res, tmplName: name}, nil
 }
 
 // MustCompile is Compile that panics on error (for examples and tests).
