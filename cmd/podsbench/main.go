@@ -25,6 +25,11 @@
 //	       makespan grows ≤5%; with -csv it also writes the traced relax
 //	       run as Chrome trace_event JSON (Perfetto-loadable), the
 //	       per-round timeline CSV, and a per-PE counter breakdown
+//	SERVE — multi-program job service: a persistent fleet takes a sustained
+//	       closed-loop stream of mixed heat/relax/matmul/triangular jobs
+//	       from concurrent clients; reports job throughput and the latency
+//	       distribution (p50/p90/p99), every job verified against the
+//	       simulator
 //
 // Usage:
 //
@@ -54,7 +59,7 @@ func main() {
 
 func run(argv []string) error {
 	fs := flag.NewFlagSet("podsbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK,SKEW,ADAPT,CACHE,TRACE) or 'all'")
+	exp := fs.String("exp", "all", "experiment id (T1,T2,F8,F9,F10,E1,X1,ABL,PAGE,BACK,SKEW,ADAPT,CACHE,TRACE,SERVE) or 'all'")
 	quick := fs.Bool("quick", false, "reduced axes (smaller sizes, fewer PE counts)")
 	csvDir := fs.String("csv", "", "also write figure data as CSV files into this directory")
 	if err := fs.Parse(argv); err != nil {
@@ -70,6 +75,7 @@ func run(argv []string) error {
 	adaptN, adaptSweeps, adaptPEs := 64, 6, []int{1, 2, 4, 8}
 	cacheN, cachePEs, cacheCaps := 32, 8, []int{0, 2, 4, 8, 16, 32}
 	traceN, tracePEs, traceReps := 48, 8, 3
+	serveN, servePEs, serveClients, serveJobs := 12, 8, 6, 48
 	if *quick {
 		pes = []int{1, 4, 16}
 		sizes = []int{8, 16}
@@ -80,6 +86,7 @@ func run(argv []string) error {
 		adaptN, adaptSweeps, adaptPEs = 32, 4, []int{1, 8}
 		cacheN, cachePEs, cacheCaps = 16, 4, []int{0, 2, 8}
 		traceN, traceReps = 24, 2
+		serveN, servePEs, serveClients, serveJobs = 10, 4, 4, 16
 	}
 
 	want := map[string]bool{}
@@ -230,6 +237,17 @@ func run(argv []string) error {
 		}
 		timeline := func(w io.Writer) error { return r.WriteTimelineCSV(w, "relax") }
 		if err := emitCSV(*csvDir, "relax_timeline.csv", timeline); err != nil {
+			return err
+		}
+	}
+	if section("SERVE") {
+		fmt.Println(hr)
+		r, err := bench.Serve(serveN, servePEs, serveClients, serveJobs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Format())
+		if err := emitCSV(*csvDir, "serve.csv", r.WriteCSV); err != nil {
 			return err
 		}
 	}

@@ -31,12 +31,27 @@
 //
 //	podsd -worker -listen 0.0.0.0:7101 -metrics 0.0.0.0:7070
 //	podsd -builtin relax -pes 8 -steal -trace relax.json -timeline relax.csv
+//
+// Job-server mode keeps the fleet up across programs: -serve opens a
+// persistent fleet (in-process or over TCP workers) and accepts compiled
+// programs over the framed protocol — any number of jobs run concurrently
+// on the same workers, each isolated under its own job ID, admitted under
+// -max-jobs and per-job -max-instrs / -max-elems budget caps. With
+// -metrics the same fleet also accepts HTTP submissions: POST a .pods
+// program body to /jobs. -submit is the matching client: it compiles (or
+// loads) a program, ships it to a server, and prints the streamed result
+// and arrays exactly like a local run:
+//
+//	podsd -serve 0.0.0.0:7200 -pes 8 -max-jobs 16 -metrics 0.0.0.0:7070
+//	podsd -submit host:7200 -builtin matmul -args 12 -dump C
+//	curl --data-binary @prog.pods 'http://host:7070/jobs?args=16'
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -metrics server
@@ -61,8 +76,13 @@ func main() {
 
 func run(argv []string) error {
 	fs := flag.NewFlagSet("podsd", flag.ContinueOnError)
-	worker := fs.Bool("worker", false, "run as a TCP worker PE (serves one run, then exits)")
-	listen := fs.String("listen", "127.0.0.1:0", "worker listen address")
+	worker := fs.Bool("worker", false, "run as a TCP worker PE (persistent: serves driver sessions until killed)")
+	listen := fs.String("listen", "127.0.0.1:0", "worker/server listen address")
+	serveAddr := fs.String("serve", "", "run as a job server: keep a fleet up on this address and accept submitted programs")
+	submitAddr := fs.String("submit", "", "submit the program to a job server at this address instead of running locally")
+	maxJobs := fs.Int("max-jobs", 0, "cap concurrently admitted jobs in -serve mode (default 16)")
+	maxInstrs := fs.Int64("max-instrs", 0, "per-job executed-instruction budget cap (0 = unlimited); -serve caps clients, driver/-submit sets the job's own budget")
+	maxElems := fs.Int64("max-elems", 0, "per-job allocated-element budget cap (0 = unlimited); -serve caps clients, driver/-submit sets the job's own budget")
 	workers := fs.String("workers", "", "comma-separated worker addresses (driver mode; empty = in-process)")
 	spares := fs.String("spares", "", "comma-separated standby worker addresses a recovery can re-home a dead PE onto (implies -recover)")
 	recoverFlag := fs.Bool("recover", false, "survive worker deaths by respawn + single-assignment replay instead of failing the run")
@@ -95,6 +115,19 @@ func run(argv []string) error {
 		return serveWorker(*listen)
 	}
 
+	if *serveAddr != "" {
+		cfg := cluster.Config{NumPEs: *pes, Latency: *latency, Recover: *recoverFlag,
+			MaxJobs: *maxJobs, MaxInstrs: *maxInstrs, MaxElems: *maxElems}
+		if *workers != "" {
+			cfg.Workers = strings.Split(*workers, ",")
+		}
+		if *spares != "" {
+			cfg.Spares = strings.Split(*spares, ",")
+			cfg.Recover = true
+		}
+		return serveJobs(*serveAddr, cfg)
+	}
+
 	var name, src string
 	var precompiled *isa.Program
 	switch {
@@ -122,15 +155,9 @@ func run(argv []string) error {
 		return fmt.Errorf("usage: podsd [flags] prog.id|prog.pods (or -builtin NAME, or -worker)")
 	}
 
-	var args []isa.Value
-	if *argsFlag != "" {
-		for _, part := range strings.Split(*argsFlag, ",") {
-			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
-			if err != nil {
-				return fmt.Errorf("bad argument %q: %w", part, err)
-			}
-			args = append(args, isa.Int(v))
-		}
+	args, err := parseArgs(*argsFlag)
+	if err != nil {
+		return err
 	}
 
 	prog := precompiled
@@ -142,9 +169,17 @@ func run(argv []string) error {
 		prog = sys.Program
 	}
 
+	if *submitAddr != "" {
+		cfg := cluster.Config{PageElems: *pageElems, CachePages: *cachePages,
+			Steal: *steal, Adapt: *adapt, TraceCap: *traceCap, TraceSample: *traceSample,
+			MaxInstrs: *maxInstrs, MaxElems: *maxElems}
+		return submitJob(*submitAddr, name, prog, cfg, args, *dump, *timeout)
+	}
+
 	cfg := cluster.Config{NumPEs: *pes, PageElems: *pageElems, CachePages: *cachePages,
 		Steal: *steal, Adapt: *adapt, Latency: *latency, Recover: *recoverFlag,
-		TraceCap: *traceCap, TraceSample: *traceSample}
+		TraceCap: *traceCap, TraceSample: *traceSample,
+		MaxInstrs: *maxInstrs, MaxElems: *maxElems}
 	cfg.Trace = *traceOut != "" || *timelineOut != ""
 	if *workers != "" {
 		cfg.Workers = strings.Split(*workers, ",")
@@ -185,21 +220,149 @@ func run(argv []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n%s %v:\n", *dump, dims)
-		cols := dims[len(dims)-1]
-		for i, v := range vals {
-			if i > 0 && i%cols == 0 {
-				fmt.Println()
-			}
-			if mask[i] {
-				fmt.Printf("%10.4f", v)
-			} else {
-				fmt.Printf("%10s", "·")
-			}
-		}
-		fmt.Println()
+		printDump(os.Stdout, *dump, dims, vals, mask)
 	}
 	return nil
+}
+
+// parseArgs turns the -args flag's comma-separated integers into main
+// arguments.
+func parseArgs(s string) ([]isa.Value, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var args []isa.Value
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad argument %q: %w", part, err)
+		}
+		args = append(args, isa.Int(v))
+	}
+	return args, nil
+}
+
+// printDump renders one array in the canonical -dump format (row-major,
+// 10-wide cells, '·' for never-written elements). The driver, the job
+// client, and the HTTP endpoint all share it so their outputs diff clean.
+func printDump(w io.Writer, name string, dims []int, vals []float64, mask []bool) {
+	fmt.Fprintf(w, "\n%s %v:\n", name, dims)
+	cols := 1
+	if len(dims) > 0 && dims[len(dims)-1] > 0 {
+		cols = dims[len(dims)-1]
+	}
+	for i, v := range vals {
+		if i > 0 && i%cols == 0 {
+			fmt.Fprintln(w)
+		}
+		if mask[i] {
+			fmt.Fprintf(w, "%10.4f", v)
+		} else {
+			fmt.Fprintf(w, "%10s", "·")
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// submitJob ships a compiled program to a job server and prints the
+// streamed reply in the local-run layout.
+func submitJob(addr, name string, prog *isa.Program, cfg cluster.Config, args []isa.Value, dump string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	reply, err := cluster.SubmitJob(ctx, addr, prog, cfg, args...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on job server %s: %.3f ms wall\n",
+		name, addr, float64(time.Since(start).Microseconds())/1000)
+	if reply.Value != nil {
+		fmt.Printf("result: %s\n", reply.Value)
+	}
+	names := make([]string, len(reply.Arrays))
+	for i := range reply.Arrays {
+		names[i] = reply.Arrays[i].Name
+	}
+	fmt.Printf("arrays: %s\n", strings.Join(names, ", "))
+	if dump != "" {
+		a, err := reply.Array(dump)
+		if err != nil {
+			return err
+		}
+		printDump(os.Stdout, dump, a.Dims, a.Vals, a.Mask)
+	}
+	return nil
+}
+
+// serveJobs opens a persistent fleet and serves submitted jobs on addr
+// until the process is killed. With -metrics set, the fleet also accepts
+// HTTP submissions on POST /jobs (body: a compiled .pods program; query:
+// args=1,2 main arguments, dump=NAME to include an array in the reply).
+func serveJobs(addr string, cfg cluster.Config) error {
+	ctx := context.Background()
+	fleet, err := cluster.OpenFleet(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	http.HandleFunc("/jobs", jobsHandler(fleet))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	transport := "chan"
+	if len(cfg.Workers) > 0 {
+		transport = "tcp"
+	}
+	fmt.Printf("podsd job server on %s (%s transport)\n", ln.Addr(), transport)
+	return fleet.ServeJobs(ctx, ln)
+}
+
+// jobsHandler is the HTTP front door to a serving fleet.
+func jobsHandler(fleet *cluster.Fleet) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a compiled .pods program", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		prog, err := isa.UnmarshalPods(body)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("decoding program: %v", err), http.StatusBadRequest)
+			return
+		}
+		args, err := parseArgs(r.URL.Query().Get("args"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := fleet.Submit(r.Context(), prog, cluster.Config{}, args...)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if strings.Contains(err.Error(), "rejected") {
+				code = http.StatusTooManyRequests
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if res.Value != nil {
+			fmt.Fprintf(w, "result: %s\n", res.Value)
+		}
+		fmt.Fprintf(w, "arrays: %s\n", strings.Join(res.ArrayNames(), ", "))
+		if d := r.URL.Query().Get("dump"); d != "" {
+			vals, mask, dims, err := res.ReadArray(d)
+			if err != nil {
+				fmt.Fprintf(w, "dump error: %v\n", err)
+				return
+			}
+			printDump(w, d, dims, vals, mask)
+		}
+	}
 }
 
 // writeTraceFiles exports a traced run: Chrome trace_event JSON and/or the
@@ -265,12 +428,21 @@ func serveMetrics(addr string) error {
 	return nil
 }
 
-// serveWorker listens and serves exactly one cluster run.
+// serveWorker serves driver sessions forever: each cluster.ServeWorker
+// call hosts one driver's fleet (any number of jobs) and returns when
+// that driver disconnects; the loop then listens again on the same
+// address (pinned after the first bind, so ':0' keeps its port) for the
+// next driver. The worker process stays up across drivers and jobs.
 func serveWorker(addr string) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return err
+		}
+		addr = ln.Addr().String()
+		fmt.Printf("podsd worker listening on %s\n", ln.Addr())
+		if err := cluster.ServeWorker(context.Background(), ln); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("podsd worker listening on %s\n", ln.Addr())
-	return cluster.ServeWorker(context.Background(), ln)
 }

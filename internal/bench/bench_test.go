@@ -339,3 +339,35 @@ func TestTraceShape(t *testing.T) {
 		t.Errorf("timeline csv: %s", b.String())
 	}
 }
+
+// TestServeSmoke runs a tiny SERVE experiment: a few mixed jobs on a small
+// persistent fleet, every one verified against the simulator inside Serve
+// itself, and the summary plus CSV must be well-formed.
+func TestServeSmoke(t *testing.T) {
+	r, err := Serve(8, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs != 8 || len(r.Records) != 8 {
+		t.Fatalf("recorded %d/%d jobs, want 8", len(r.Records), r.Jobs)
+	}
+	if r.Throughput <= 0 || r.P99 <= 0 || r.P99 < r.P50 {
+		t.Fatalf("degenerate latency summary: throughput=%v p50=%v p99=%v",
+			r.Throughput, r.P50, r.P99)
+	}
+	for _, mx := range serveMix {
+		if s := r.PerKernel[mx.Kernel]; s.Jobs != 2 {
+			t.Errorf("%s ran %d jobs, want 2", mx.Kernel, s.Jobs)
+		}
+	}
+	if !strings.Contains(r.Format(), "throughput") {
+		t.Errorf("summary missing throughput: %s", r.Format())
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "job,kernel,client,start_ms,latency_ms\n") {
+		t.Errorf("serve csv: %s", b.String())
+	}
+}

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// The SERVE experiment measures the multi-program job service: one
+// persistent fleet of workers takes a sustained closed-loop stream of
+// mixed jobs (heat, relax, matmul, triangular — each with its own knob
+// set, from fully static to steal+adapt+cache) from several concurrent
+// clients, and the harness reports job throughput and the latency
+// distribution (p50/p90/p99/max). Every job's arrays are verified
+// against the simulator reference as they complete, so the numbers are
+// only reported for runs that stayed bit-for-bit correct under
+// multi-tenant load.
+
+// serveMix is the sustained mixed load: each submitted job cycles through
+// these (kernel, knobs) pairs round-robin.
+var serveMix = []struct {
+	Kernel string
+	Cfg    cluster.Config
+}{
+	{"matmul", cluster.Config{PageElems: 8}},
+	{"heat", cluster.Config{PageElems: 8, Steal: true}},
+	{"relax", cluster.Config{PageElems: 8, Adapt: true, ProbeInterval: 200 * time.Microsecond}},
+	{"triangular", cluster.Config{PageElems: 8, Steal: true, CachePages: 2}},
+}
+
+// ServeJobRecord is one completed job's measurement.
+type ServeJobRecord struct {
+	Index   int           // submission order
+	Kernel  string        // which mix entry ran
+	Client  int           // submitting client
+	Start   time.Duration // submit time relative to experiment start
+	Latency time.Duration // submit-to-result wall time
+}
+
+// ServeKernelStat aggregates one kernel's share of the mix.
+type ServeKernelStat struct {
+	Jobs int
+	Mean time.Duration
+	P99  time.Duration
+}
+
+// ServeResult is the SERVE experiment output.
+type ServeResult struct {
+	N       int // per-job problem size
+	PEs     int
+	Clients int // concurrent closed-loop submitters
+	Jobs    int // total jobs completed
+
+	Wall       time.Duration // experiment wall time
+	Throughput float64       // jobs per second
+	Mean       time.Duration
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+
+	PerKernel map[string]ServeKernelStat
+	Records   []ServeJobRecord
+}
+
+// serveRef is a kernel's compiled program plus its simulator-reference
+// arrays, computed once and checked against every job of that kernel.
+type serveRef struct {
+	prog  *isa.Program
+	args  []isa.Value
+	names []string
+	vals  map[string][]float64
+	masks map[string][]bool
+}
+
+// Serve runs the SERVE experiment: clients closed-loop submitters pushing
+// jobs total jobs of the mixed load at problem size n onto one persistent
+// fleet of pes workers.
+func Serve(n, pes, clients, jobs int) (*ServeResult, error) {
+	if clients < 1 || jobs < 1 {
+		return nil, fmt.Errorf("bench: SERVE needs at least one client and one job")
+	}
+
+	refs := make([]serveRef, len(serveMix))
+	for i, mx := range serveMix {
+		k, ok := kernels.ByName(mx.Kernel)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown kernel %q", mx.Kernel)
+		}
+		prog, err := Compile(k.File(), k.Source, true)
+		if err != nil {
+			return nil, err
+		}
+		args := k.Args(n)
+		m, err := sim.New(prog, sim.Config{NumPEs: pes})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Run(args...); err != nil {
+			return nil, err
+		}
+		ref := serveRef{prog: prog, args: args, names: k.Arrays,
+			vals: make(map[string][]float64), masks: make(map[string][]bool)}
+		for _, name := range k.Arrays {
+			v, mask, _, err := m.ReadArray(name)
+			if err != nil {
+				return nil, err
+			}
+			ref.vals[name], ref.masks[name] = v, mask
+		}
+		refs[i] = ref
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	fleet, err := cluster.OpenFleet(ctx, cluster.Config{NumPEs: pes, MaxJobs: clients + 1})
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+
+	r := &ServeResult{
+		N: n, PEs: pes, Clients: clients, Jobs: jobs,
+		PerKernel: make(map[string]ServeKernelStat),
+		Records:   make([]ServeJobRecord, jobs),
+	}
+	var (
+		next   int64 = -1 // atomic job-index dispenser
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		runErr error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for {
+				idx := int(atomic.AddInt64(&next, 1))
+				if idx >= jobs {
+					return
+				}
+				mi := idx % len(serveMix)
+				ref := &refs[mi]
+				t0 := time.Since(start)
+				res, err := fleet.Submit(ctx, ref.prog, serveMix[mi].Cfg, ref.args...)
+				lat := time.Since(start) - t0
+				if err == nil {
+					err = checkServeJob(res, ref)
+				}
+				if err != nil {
+					mu.Lock()
+					if runErr == nil {
+						runErr = fmt.Errorf("job %d (%s): %w", idx, serveMix[mi].Kernel, err)
+					}
+					mu.Unlock()
+					return
+				}
+				r.Records[idx] = ServeJobRecord{
+					Index: idx, Kernel: serveMix[mi].Kernel, Client: client,
+					Start: t0, Latency: lat,
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	r.Wall = time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	lats := make([]time.Duration, 0, jobs)
+	byKernel := make(map[string][]time.Duration)
+	var sum time.Duration
+	for _, rec := range r.Records {
+		lats = append(lats, rec.Latency)
+		byKernel[rec.Kernel] = append(byKernel[rec.Kernel], rec.Latency)
+		sum += rec.Latency
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	r.Throughput = float64(jobs) / r.Wall.Seconds()
+	r.Mean = sum / time.Duration(jobs)
+	r.P50 = percentile(lats, 0.50)
+	r.P90 = percentile(lats, 0.90)
+	r.P99 = percentile(lats, 0.99)
+	r.Max = lats[len(lats)-1]
+	for kn, ls := range byKernel {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		var s time.Duration
+		for _, l := range ls {
+			s += l
+		}
+		r.PerKernel[kn] = ServeKernelStat{
+			Jobs: len(ls),
+			Mean: s / time.Duration(len(ls)),
+			P99:  percentile(ls, 0.99),
+		}
+	}
+	return r, nil
+}
+
+// checkServeJob verifies one job's arrays against the kernel's simulator
+// reference (values and written-masks both).
+func checkServeJob(res *cluster.Result, ref *serveRef) error {
+	for _, name := range ref.names {
+		vals, mask, _, err := res.ReadArray(name)
+		if err != nil {
+			return err
+		}
+		want, wantMask := ref.vals[name], ref.masks[name]
+		if len(vals) != len(want) {
+			return fmt.Errorf("%s: %d elements, want %d", name, len(vals), len(want))
+		}
+		for i := range want {
+			if mask[i] != wantMask[i] {
+				return fmt.Errorf("%s[%d]: written=%v, want %v", name, i, mask[i], wantMask[i])
+			}
+			if mask[i] && vals[i] != want[i] {
+				return fmt.Errorf("%s[%d] = %v, want %v (fleet job disagrees with sim)",
+					name, i, vals[i], want[i])
+			}
+		}
+	}
+	return nil
+}
+
+// percentile reads the q-quantile from an ascending-sorted sample
+// (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Format renders the experiment.
+func (r *ServeResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SERVE — multi-program job service, n=%d @%d PEs, %d clients, %d jobs (mixed %s)\n",
+		r.N, r.PEs, r.Clients, r.Jobs, serveMixNames())
+	fmt.Fprintf(&b, "(closed loop; every job verified bit-for-bit against the simulator)\n\n")
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+	}
+	fmt.Fprintf(&b, "throughput %.1f jobs/s over %s wall\n", r.Throughput, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "latency ms: mean %s  p50 %s  p90 %s  p99 %s  max %s\n\n",
+		ms(r.Mean), ms(r.P50), ms(r.P90), ms(r.P99), ms(r.Max))
+	fmt.Fprintf(&b, "%-12s %6s %12s %12s\n", "kernel", "jobs", "mean-ms", "p99-ms")
+	for _, mx := range serveMix {
+		s, ok := r.PerKernel[mx.Kernel]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %6d %12s %12s\n", mx.Kernel, s.Jobs, ms(s.Mean), ms(s.P99))
+	}
+	return b.String()
+}
+
+func serveMixNames() string {
+	names := make([]string, len(serveMix))
+	for i, mx := range serveMix {
+		names[i] = mx.Kernel
+	}
+	return strings.Join(names, "/")
+}
+
+// WriteCSV emits one row per job: index, kernel, client, start and
+// latency in milliseconds.
+func (r *ServeResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, rec := range r.Records {
+		rows = append(rows, []string{
+			strconv.Itoa(rec.Index), rec.Kernel, strconv.Itoa(rec.Client),
+			fmtF(float64(rec.Start.Microseconds()) / 1000),
+			fmtF(float64(rec.Latency.Microseconds()) / 1000),
+		})
+	}
+	return writeCSV(w, []string{"job", "kernel", "client", "start_ms", "latency_ms"}, rows)
+}

@@ -104,7 +104,8 @@ func TestMsgCodecTruncated(t *testing.T) {
 }
 
 func TestIDPacking(t *testing.T) {
-	for _, pe := range []int{0, 1, 31, 65535} {
+	// The PE field is one byte storing pe+1, so 254 is the largest index.
+	for _, pe := range []int{0, 1, 31, 254} {
 		id := packID(pe, 12345)
 		if got := peOf(id); got != pe {
 			t.Errorf("peOf(packID(%d, _)) = %d", pe, got)
@@ -121,6 +122,21 @@ func TestIDPacking(t *testing.T) {
 		if got := peOf(id); got != 3 {
 			t.Errorf("peOf(packIncID(3, %d, 99)) = %d, want 3", inc, got)
 		}
+	}
+	for _, job := range []int32{0, 1, 9, jobMask} {
+		id := packJobID(job, 3, 2, 99)
+		if got := jobOf(id); got != job {
+			t.Errorf("jobOf(packJobID(%d, 3, 2, 99)) = %d", job, got)
+		}
+		if got, want := peOf(id), 3; got != want {
+			t.Errorf("peOf(packJobID(%d, ...)) = %d, want %d", job, got, want)
+		}
+		if got, want := incOf(id), int32(2); got != want {
+			t.Errorf("incOf(packJobID(%d, ...)) = %d, want %d", job, got, want)
+		}
+	}
+	if packJobID(0, 4, 1, 7) != packIncID(4, 1, 7) {
+		t.Error("job 0 must pack identically to a single-job ID")
 	}
 }
 

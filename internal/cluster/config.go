@@ -136,7 +136,30 @@ type Config struct {
 	// deterministic, so a given schedule always samples the same
 	// instances. Defaults to 1 (record every SP).
 	TraceSample int
+
+	// MaxJobs bounds how many jobs a Fleet runs concurrently; a Submit
+	// beyond the bound is rejected immediately (admission control), never
+	// queued. 0 means DefaultMaxJobs. Fleet-level: ignored on the per-job
+	// config passed to Submit.
+	MaxJobs int
+
+	// MaxInstrs is the job's instruction budget: the run fails once the
+	// workers' acked executed-instruction total exceeds it. Enforcement
+	// rides the probe cadence, so a job can overshoot by at most one
+	// round's work before it is stopped. 0 (the default) is unlimited.
+	MaxInstrs int64
+
+	// MaxElems is the job's memory budget in allocated I-structure
+	// elements, enforced exactly at each allocation broadcast (the driver
+	// sees every ALLOC/ALLOCD before an element is written). A job whose
+	// allocations would exceed the budget fails without disturbing
+	// concurrent jobs. 0 (the default) is unlimited.
+	MaxElems int64
 }
+
+// DefaultMaxJobs is the concurrent-job admission bound a Fleet applies
+// when Config.MaxJobs is zero.
+const DefaultMaxJobs = 16
 
 // fill applies the shared backend defaults and validates the result.
 func (c *Config) fill() error {
@@ -191,6 +214,12 @@ func (c *Config) fill() error {
 	}
 	if c.TraceCap < 0 || c.TraceSample < 0 {
 		return fmt.Errorf("cluster: negative trace bound (cap %d, sample %d)", c.TraceCap, c.TraceSample)
+	}
+	if c.MaxJobs < 0 {
+		return fmt.Errorf("cluster: negative MaxJobs %d", c.MaxJobs)
+	}
+	if c.MaxInstrs < 0 || c.MaxElems < 0 {
+		return fmt.Errorf("cluster: negative job budget (MaxInstrs %d, MaxElems %d)", c.MaxInstrs, c.MaxElems)
 	}
 	if c.Trace {
 		if c.TraceCap == 0 {

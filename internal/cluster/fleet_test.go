@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/rtcfg"
+)
+
+// --- concurrent jobs on one persistent TCP fleet ---
+
+// TestFleetTCPConcurrentJobs is the distributed-process leg of the
+// concurrent-jobs determinacy column: four jobs of mixed kernels and mixed
+// knob sets run at once on one persistent fleet of TCP workers, and each
+// must agree bit-for-bit with the simulator reference — the proof that
+// job-keyed worker state isolates tenants across real wires, not just
+// in-process channels.
+func TestFleetTCPConcurrentJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a TCP fleet")
+	}
+	ctx := testCtx(t)
+	addrs, join := startTCPWorkers(t, ctx, 4)
+	defer join()
+
+	fleet, err := OpenFleet(ctx, Config{Workers: addrs, MaxJobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	jobs := []struct {
+		kernel string
+		n      int
+		cfg    Config
+	}{
+		{"matmul", 10, Config{PageElems: 8}},
+		{"heat", 10, Config{PageElems: 8, Steal: true}},
+		{"relax", 8, Config{PageElems: 8, Adapt: true, ProbeInterval: 20 * time.Microsecond}},
+		{"triangular", 10, Config{PageElems: 8, Steal: true, CachePages: 2}},
+	}
+
+	type ref struct {
+		prog  *isa.Program
+		args  []isa.Value
+		vals  map[string][]float64
+		masks map[string][]bool
+	}
+	refs := make([]ref, len(jobs))
+	for i, j := range jobs {
+		k, prog := compileKernel(t, j.kernel)
+		args := k.Args(j.n)
+		vals, masks := simArraysMasked(t, prog, 4, k.Arrays, args...)
+		refs[i] = ref{prog: prog, args: args, vals: vals, masks: masks}
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = fleet.Submit(ctx, refs[i].prog, jobs[i].cfg, refs[i].args...)
+		}(i)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", j.kernel, errs[i])
+		}
+		checkAgainstSimMasked(t, results[i], refs[i].vals, refs[i].masks)
+	}
+}
+
+// --- admission control ---
+
+// TestFleetAdmissionCap pins the rejection contract deterministically: a
+// fleet at its MaxJobs ceiling rejects the next Submit immediately with a
+// diagnostic, and accepts again as soon as a slot frees. The occupied
+// slots are injected directly so the test never races real job lifetimes.
+func TestFleetAdmissionCap(t *testing.T) {
+	ctx := testCtx(t)
+	fleet, err := OpenFleet(ctx, Config{NumPEs: 2, MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	fleet.mu.Lock()
+	for i := 0; i < 2; i++ {
+		id := fleet.allocJobIDLocked()
+		fleet.jobs[id] = &fleetJob{box: newMailbox()}
+	}
+	fleet.mu.Unlock()
+
+	k, prog := compileKernel(t, "matmul")
+	_, err = fleet.Submit(ctx, prog, Config{PageElems: 8}, k.Args(6)...)
+	if err == nil {
+		t.Fatal("submit to a full fleet succeeded; want rejection")
+	}
+	if !strings.Contains(err.Error(), "job rejected") {
+		t.Fatalf("rejection error %q does not name the admission cap", err)
+	}
+
+	// Free one slot: the same submission must now run to completion.
+	fleet.mu.Lock()
+	for id := range fleet.jobs {
+		delete(fleet.jobs, id)
+		break
+	}
+	fleet.mu.Unlock()
+	res, err := fleet.Submit(ctx, prog, Config{PageElems: 8}, k.Args(6)...)
+	if err != nil {
+		t.Fatalf("submit after a slot freed: %v", err)
+	}
+	vals, masks := simArraysMasked(t, prog, 2, k.Arrays, k.Args(6)...)
+	checkAgainstSimMasked(t, res, vals, masks)
+
+	fleet.mu.Lock()
+	for id := range fleet.jobs {
+		delete(fleet.jobs, id) // drop the remaining fake so Close is clean
+	}
+	fleet.mu.Unlock()
+}
+
+// --- steal-grant sequence fence ---
+
+// TestStealGrantSeqFence pins the duplicate-grant dedup in isolation: a
+// re-delivered KStealGrant at an already-applied sequence number from the
+// same (victim, incarnation) is dropped whole — not failed, not
+// re-installed — while higher sequences and other incarnations install
+// normally (a respawned victim's numbering legitimately restarts).
+func TestStealGrantSeqFence(t *testing.T) {
+	prog := taskProgram()
+	eps := newChanTransport(2, 0)
+	geo := rtcfg.Geometry{PEs: 2, PageElems: 8, DistThreshold: 16}
+	w := newWorker(1, 2, geo, prog, eps[1], workerOpts{steal: true})
+
+	item := func(seq int64) StealItem {
+		return StealItem{
+			SP:   packID(0, seq),
+			Tmpl: 0,
+			Args: make([]isa.Value, 4), // taskProgram's template: NSlots 4
+			Set:  make([]bool, 4),
+		}
+	}
+
+	w.installStolen(&Msg{Kind: KStealGrant, From: 0, Seq: 1, Batch: []StealItem{item(1)}})
+	if w.steals != 1 || len(w.insts) != 1 {
+		t.Fatalf("first grant installed %d SPs (%d steals), want 1", len(w.insts), w.steals)
+	}
+
+	// Re-delivery of the same grant (retry after a lost ack, or a replayed
+	// wire): must be dropped before any per-item check can fail the run —
+	// even though its SP is still live here.
+	w.installStolen(&Msg{Kind: KStealGrant, From: 0, Seq: 1, Batch: []StealItem{item(1)}})
+	if w.failed {
+		t.Fatal("re-delivered grant failed the worker")
+	}
+	if w.dupGrants != 1 {
+		t.Fatalf("dupGrants = %d, want 1", w.dupGrants)
+	}
+	if w.steals != 1 || len(w.insts) != 1 {
+		t.Fatalf("re-delivered grant changed state: %d SPs, %d steals", len(w.insts), w.steals)
+	}
+
+	// A stale lower sequence arriving late is equally dead.
+	w.installStolen(&Msg{Kind: KStealGrant, From: 0, Seq: 2, Batch: []StealItem{item(2)}})
+	w.installStolen(&Msg{Kind: KStealGrant, From: 0, Seq: 1, Batch: []StealItem{item(3)}})
+	if w.dupGrants != 2 || w.steals != 2 {
+		t.Fatalf("after stale low-seq grant: dupGrants = %d, steals = %d; want 2, 2",
+			w.dupGrants, w.steals)
+	}
+
+	// The victim's next incarnation restarts its numbering: Seq 1 under
+	// Inc 1 is a fresh grant, not a duplicate of Inc 0's Seq 1.
+	reborn := StealItem{SP: packIncID(0, 1, 9), Tmpl: 0,
+		Args: make([]isa.Value, 4), Set: make([]bool, 4)}
+	w.installStolen(&Msg{Kind: KStealGrant, From: 0, Inc: 1, Seq: 1, Batch: []StealItem{reborn}})
+	if w.failed || w.steals != 3 {
+		t.Fatalf("new-incarnation Seq 1 grant not installed: failed=%v steals=%d",
+			w.failed, w.steals)
+	}
+}
+
+// --- replay-log GC checkpoints ---
+
+// TestReplayLogGCCheckpoints: with recovery and adaptation both on, the
+// driver must complete at least one replay-log GC checkpoint on a kernel
+// whose sweeps retire mid-run — and the run must still match the
+// simulator bit-for-bit (the GC dropped only provably-covered log
+// entries). Checkpoint kickoff rides probe-round timing, so the test
+// retries a few times before declaring the mechanism dead.
+func TestReplayLogGCCheckpoints(t *testing.T) {
+	k, prog := compileKernel(t, "relax")
+	args := k.Args(10)
+	wantVals, wantMasks := simArraysMasked(t, prog, 1, k.Arrays, args...)
+	cfg := Config{
+		NumPEs: 4, PageElems: 8, Adapt: true, Recover: true,
+		ProbeInterval: 20 * time.Microsecond,
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		res, err := Execute(testCtx(t), prog, cfg, args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstSimMasked(t, res, wantVals, wantMasks)
+		if res.Stats.Checkpoints >= 1 {
+			t.Logf("attempt %d: %d checkpoints completed", attempt, res.Stats.Checkpoints)
+			return
+		}
+	}
+	t.Fatal("no replay-log GC checkpoint completed in 5 runs (Recover+Adapt)")
+}
+
+// --- job-server protocol round trip ---
+
+// TestServeJobsRoundTrip drives the framed submit protocol end to end
+// against a live fleet: a client ships a serialized program over TCP,
+// the server runs it as one fleet job and streams the arrays back, and
+// the reassembled reply matches the simulator reference exactly.
+func TestServeJobsRoundTrip(t *testing.T) {
+	ctx := testCtx(t)
+	fleet, err := OpenFleet(ctx, Config{NumPEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fleet.ServeJobs(ctx, ln)
+
+	k, prog := compileKernel(t, "matmul")
+	n := 10
+	want := simArrays(t, prog, 4, k.Arrays, k.Args(n)...)
+
+	reply, err := SubmitJob(ctx, ln.Addr().String(), prog, Config{PageElems: 8}, k.Args(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ref := range want {
+		a, err := reply.Array(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Vals) != len(ref) {
+			t.Fatalf("%s: %d elements streamed, want %d", name, len(a.Vals), len(ref))
+		}
+		for i := range ref {
+			if !a.Mask[i] {
+				t.Fatalf("%s[%d] not marked written in the streamed reply", name, i)
+			}
+			if a.Vals[i] != ref[i] {
+				t.Fatalf("%s[%d] = %v, want %v (server reply disagrees with sim)",
+					name, i, a.Vals[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestServeJobsServerBudgetCap: the server clamps every tenant's budget
+// to its own cap — a client asking for unlimited elements on a capped
+// server is rejected with the budget diagnostic, streamed back as a
+// failure frame rather than a hang or a dropped connection.
+func TestServeJobsServerBudgetCap(t *testing.T) {
+	ctx := testCtx(t)
+	fleet, err := OpenFleet(ctx, Config{NumPEs: 2, MaxElems: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fleet.ServeJobs(ctx, ln)
+
+	k, prog := compileKernel(t, "matmul")
+	_, err = SubmitJob(ctx, ln.Addr().String(), prog, Config{PageElems: 8}, k.Args(6)...)
+	if err == nil {
+		t.Fatal("over-budget job succeeded on a capped server")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("capped server failed with %q; want the element-budget diagnostic", err)
+	}
+}
+
+// TestClampBudget pins the budget-merge table: zero is unlimited on both
+// sides, the effective budget is the tighter of the two, and a negative
+// client request degrades to unlimited-within-cap rather than wrapping.
+func TestClampBudget(t *testing.T) {
+	cases := []struct{ client, server, want int64 }{
+		{0, 0, 0},  // both unlimited
+		{5, 0, 5},  // client tightens an unlimited server
+		{0, 7, 7},  // server cap applies to an unlimited client
+		{5, 7, 5},  // client under the cap keeps its ask
+		{9, 7, 7},  // client over the cap is clamped
+		{-3, 0, 0}, // nonsense request, unlimited server
+		{-3, 7, 7}, // nonsense request degrades to the cap
+	}
+	for _, c := range cases {
+		if got := clampBudget(c.client, c.server); got != c.want {
+			t.Errorf("clampBudget(%d, %d) = %d, want %d", c.client, c.server, got, c.want)
+		}
+	}
+}

@@ -38,7 +38,7 @@ func (w *worker) execAlloc(sp *spInst, ins *isa.Instr) {
 		elems *= dims[i]
 	}
 	w.nextArr++
-	id := packIncID(w.pe, w.inc, w.nextArr)
+	id := packJobID(w.job, w.pe, w.inc, w.nextArr)
 	name := ins.Comment
 	if name == "" {
 		name = fmt.Sprintf("anon%d", id)
@@ -65,9 +65,15 @@ func (w *worker) execAlloc(sp *spInst, ins *isa.Instr) {
 // installArray installs a header, wakes SPs suspended on it, and replays
 // remote messages that arrived before the broadcast.
 func (w *worker) installArray(h *istructure.Header) {
+	fresh := w.shard.Header(h.ID) == nil
 	if err := w.shard.Install(h); err != nil {
 		w.fail(err)
 		return
+	}
+	if fresh {
+		// The install order is the checkpoint-dump iteration order; a
+		// replayed duplicate broadcast must not enter the list twice.
+		w.arrays = append(w.arrays, h.ID)
 	}
 	if sps := w.waitArray[h.ID]; len(sps) > 0 {
 		for _, sp := range sps {
@@ -85,6 +91,8 @@ func (w *worker) installArray(h *istructure.Header) {
 				w.handleWrite(m)
 			case KDumpReq:
 				w.handleDumpReq(m)
+			case KRestore:
+				w.handleRestore(m)
 			}
 		}
 	}
@@ -265,6 +273,23 @@ func (w *worker) handleWrite(m *Msg) {
 		return
 	}
 	w.ownerWrite(m.Arr, int(m.Off), m.Val)
+}
+
+// handleRestore applies one checkpoint-snapshot chunk to a respawned
+// owner's segment: each present element becomes an idempotent owner write,
+// releasing any deferred readers already queued against the empty shard.
+// Kind information survives the round trip — the driver snapshots raw
+// values, not a rendered form.
+func (w *worker) handleRestore(m *Msg) {
+	if w.shard.Header(m.Arr) == nil {
+		w.pending[m.Arr] = append(w.pending[m.Arr], m)
+		return
+	}
+	for i, set := range m.Set {
+		if set {
+			w.ownerWrite(m.Arr, int(m.Off)+i, m.Vals[i])
+		}
+	}
 }
 
 // handleDumpReq ships this PE's owned segment of an array to the driver

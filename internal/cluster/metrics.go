@@ -26,6 +26,12 @@ var (
 	mMisses  = expvar.NewInt("pods_cache_misses_total")
 	mEvicts  = expvar.NewInt("pods_evictions_total")
 	mReplays = expvar.NewInt("pods_replayed_total")
+
+	// Job-service counters, maintained by Fleet.Submit: jobs running now,
+	// jobs ever admitted, and jobs bounced by admission control.
+	mJobsActive   = expvar.NewInt("pods_jobs_active")
+	mJobsTotal    = expvar.NewInt("pods_jobs_total")
+	mJobsRejected = expvar.NewInt("pods_jobs_rejected_total")
 )
 
 // pubCounters remembers the last counter values a worker pushed into the

@@ -172,6 +172,56 @@ const (
 	// flattened oldest-first (five int64 words per event), TraceDrops the
 	// count of events the ring's capacity bound discarded. Control-plane.
 	KTrace
+
+	// KJobStart creates a per-job worker instance on a fleet host: Job
+	// names the job, Prog carries the serialized program, the flat config
+	// fields and the init/recover blocks carry the job's scheduling knobs,
+	// budgets, counting epoch, and incarnation vector. Fleet hosts route
+	// every subsequent frame stamped with this Job to that instance.
+	KJobStart
+
+	// KJobEnd tears a job down on a fleet host: the host stops the job's
+	// worker instance, frees its shard and logs, and drops any straggler
+	// frames still addressed to the job. Control-plane.
+	KJobEnd
+
+	// KSubmit asks a job server (podsd -serve) to run a program: Prog is
+	// the serialized .pods program, Args the main arguments, Name a label,
+	// Seq a client-chosen correlation tag. The per-job budget fields ride
+	// the init block.
+	KSubmit
+
+	// KResult answers a KSubmit once the job finished: Val is the program
+	// result (echoing Seq). The server streams each array as a KDump frame
+	// (Name/Dims/Vals/Set) before the KResult; errors arrive as KFail.
+	KResult
+
+	// KCkpt starts a log-GC checkpoint on every worker: Seq is the
+	// checkpoint ID and Iters the sweep IDs the adapt coordinator has
+	// retired since the previous checkpoint. Each worker records its
+	// remote-write log cut, then sends KCkptMark to all peers.
+	KCkpt
+
+	// KCkptMark is the flush marker workers exchange during a checkpoint:
+	// per-pair FIFO puts it behind every remote write its sender logged
+	// before its cut, so a worker holding marks from all peers knows its
+	// owned segments already contain every pre-cut write. Control-plane.
+	KCkptMark
+
+	// KCkptAck tells the driver one worker finished its checkpoint dump
+	// (owned segments shipped as KDump frames). Control-plane.
+	KCkptAck
+
+	// KCkptOK completes a checkpoint: every worker dumped, so workers drop
+	// their pre-cut write-log prefixes and the fan-out log entries of the
+	// sweeps named in the opening KCkpt. Control-plane.
+	KCkptOK
+
+	// KRestore pushes a checkpointed owned segment back to a respawned
+	// worker (Arr/Off/Vals/Set, same shape as KDump): values a GC'd log
+	// can no longer replay are reinstalled as idempotent owner writes,
+	// releasing any deferred readers queued by re-executed SPs.
+	KRestore
 )
 
 func (k MsgKind) String() string {
@@ -226,6 +276,24 @@ func (k MsgKind) String() string {
 		return "traceReq"
 	case KTrace:
 		return "trace"
+	case KJobStart:
+		return "jobStart"
+	case KJobEnd:
+		return "jobEnd"
+	case KSubmit:
+		return "submit"
+	case KResult:
+		return "result"
+	case KCkpt:
+		return "ckpt"
+	case KCkptMark:
+		return "ckptMark"
+	case KCkptAck:
+		return "ckptAck"
+	case KCkptOK:
+		return "ckptOK"
+	case KRestore:
+		return "restore"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(k))
 	}
@@ -238,6 +306,15 @@ func (k MsgKind) String() string {
 type Msg struct {
 	Kind MsgKind
 	From int32 // sending endpoint: worker PE, or N (the driver)
+
+	// Job names the job a frame belongs to on a multi-program fleet
+	// (stamped by the per-job endpoint wrappers; 0 is fleet-level
+	// control). Seq is a multi-purpose sequence number: the victim-minted
+	// per-thief grant sequence on KStealGrant (so a re-delivered completed
+	// grant is detected and dropped), the checkpoint ID on KCkpt*, and the
+	// client correlation tag on KSubmit/KResult.
+	Job int32
+	Seq int64
 
 	// SP routing (spawn, token, readReq, page).
 	SP   int64
@@ -319,6 +396,12 @@ type Msg struct {
 	TraceSample int32
 	TraceEvs    []int64
 	TraceDrops  int64
+
+	// Per-job budgets (init block: jobStart, submit). Zero = unlimited.
+	// A worker that exceeds its instruction budget, or allocates past its
+	// element budget, fails its job — only that job.
+	MaxInstrs int64
+	MaxElems  int64
 }
 
 // StealItem is one SP instance migrating inside a KStealGrant batch: its
@@ -342,7 +425,7 @@ type StealItem struct {
 // kinds (tokens, writes, pages) ~50 always-zero bytes per frame.
 func (k MsgKind) hasAdaptBlock() bool {
 	switch k {
-	case KSpawn, KCostReport, KRebound, KSpawnLog:
+	case KSpawn, KCostReport, KRebound, KSpawnLog, KCkpt, KCkptAck, KCkptOK:
 		return true
 	}
 	return false
@@ -353,7 +436,7 @@ func (k MsgKind) hasAdaptBlock() bool {
 // blocks so data frames stay free of them.
 func (k MsgKind) hasRecoverBlock() bool {
 	switch k {
-	case KInit, KRecover:
+	case KInit, KRecover, KJobStart:
 		return true
 	}
 	return false
@@ -377,8 +460,16 @@ func (k MsgKind) hasStealBlock() bool {
 func (k MsgKind) hasStatsBlock() bool { return k == KAck }
 
 // hasInitBlock reports whether the kind carries the observability
-// configuration (Trace, TraceCap, TraceSample): only worker bring-up does.
-func (k MsgKind) hasInitBlock() bool { return k == KInit }
+// configuration (Trace, TraceCap, TraceSample) and the per-job budgets
+// (MaxInstrs, MaxElems): worker bring-up, per-job bring-up, and job
+// submission do.
+func (k MsgKind) hasInitBlock() bool {
+	switch k {
+	case KInit, KJobStart, KSubmit:
+		return true
+	}
+	return false
+}
 
 // hasTraceBlock reports whether the kind carries a flushed trace ring
 // (TraceEvs, TraceDrops), gated like the other blocks.
@@ -437,6 +528,8 @@ func appendI64s(b []byte, vs []int64) []byte {
 func encodeMsg(b []byte, m *Msg) []byte {
 	b = append(b, byte(m.Kind))
 	b = appendI32(b, m.From)
+	b = appendI32(b, m.Job)
+	b = appendI64(b, m.Seq)
 	b = appendI64(b, m.SP)
 	b = appendI32(b, m.Slot)
 	b = appendValue(b, m.Val)
@@ -566,6 +659,8 @@ func encodeMsg(b []byte, m *Msg) []byte {
 		}
 		b = appendI32(b, m.TraceCap)
 		b = appendI32(b, m.TraceSample)
+		b = appendI64(b, m.MaxInstrs)
+		b = appendI64(b, m.MaxElems)
 	}
 	if m.Kind.hasTraceBlock() {
 		b = appendI64s(b, m.TraceEvs)
@@ -669,6 +764,8 @@ func decodeMsg(b []byte) (*Msg, error) {
 	m := &Msg{}
 	m.Kind = MsgKind(r.u8())
 	m.From = r.i32()
+	m.Job = r.i32()
+	m.Seq = r.i64()
 	m.SP = r.i64()
 	m.Slot = r.i32()
 	m.Val = r.value()
@@ -780,6 +877,8 @@ func decodeMsg(b []byte) (*Msg, error) {
 		m.Trace = r.u8() != 0
 		m.TraceCap = r.i32()
 		m.TraceSample = r.i32()
+		m.MaxInstrs = r.i64()
+		m.MaxElems = r.i64()
 	}
 	if m.Kind.hasTraceBlock() {
 		m.TraceEvs = r.i64s()
@@ -800,18 +899,26 @@ func decodeMsg(b []byte) (*Msg, error) {
 	return m, nil
 }
 
-// ID packing: SP instances and arrays are identified by globally unique
-// 64-bit IDs allocated without coordination — the owning PE index (+1, so
-// the driver's environment instance keeps ID 0) lives in the high bits and
-// a per-PE sequence number in the low bits. The top byte of the sequence
-// field carries the minting worker's incarnation, so a replacement worker's
-// IDs can never collide with — and are distinguishable from — its dead
-// predecessor's: a token that arrives at a PE for a local ID minted by an
-// earlier incarnation is provably stale and is dropped, not failed.
+// ID packing: SP instances and arrays are identified by 64-bit IDs
+// allocated without coordination. The layout, high to low:
+//
+//	bits 48..62  job namespace (low 15 bits of the job ID; 0 = single-job)
+//	bits 40..47  owning PE index + 1 (the driver environment keeps ID 0)
+//	bits 32..39  minting worker's incarnation
+//	bits  0..31  per-PE sequence number
+//
+// The incarnation byte makes a replacement worker's IDs distinguishable
+// from its dead predecessor's: a token that arrives at a PE for a local ID
+// minted by an earlier incarnation is provably stale and is dropped, not
+// failed. The job bits give every concurrent job on a shared fleet its own
+// ID namespace, so two jobs' SP and array IDs can never collide in any
+// shared map even though frames are already routed per job.
 
 const (
+	jobShift = 48
 	peShift  = 40
 	incShift = 32
+	jobMask  = 0x7fff
 )
 
 func packID(pe int, seq int64) int64 { return int64(pe+1)<<peShift | seq }
@@ -821,9 +928,17 @@ func packIncID(pe int, inc int32, seq int64) int64 {
 	return packID(pe, int64(inc)<<incShift|seq)
 }
 
+// packJobID mints an ID under a specific job namespace and incarnation.
+func packJobID(job int32, pe int, inc int32, seq int64) int64 {
+	return (int64(job)&jobMask)<<jobShift | packIncID(pe, inc, seq)
+}
+
 // peOf recovers the owning PE from a packed ID; ID 0 (the driver
-// environment) returns -1.
-func peOf(id int64) int { return int(id>>peShift) - 1 }
+// environment) returns -1. The mask strips the job namespace bits.
+func peOf(id int64) int { return int((id>>peShift)&0xff) - 1 }
 
 // incOf recovers the minting incarnation from a packed ID.
 func incOf(id int64) int32 { return int32(id>>incShift) & 0xff }
+
+// jobOf recovers the job namespace bits from a packed ID.
+func jobOf(id int64) int32 { return int32(id>>jobShift) & jobMask }

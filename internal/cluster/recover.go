@@ -1,12 +1,9 @@
 package cluster
 
 import (
-	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/isa"
-	"repro/internal/rtcfg"
 )
 
 // Driver-side half of worker-failure recovery.
@@ -191,31 +188,76 @@ func (r *recovery) perform(ep Endpoint, dead []int, res *Result) error {
 			}
 			r.replayed++
 		}
+		// Restore the replacement's owned segments from the driver's
+		// checkpoint snapshot. This backfills the writes whose logs were
+		// GC'd at the last completed checkpoint: survivors replay only
+		// their post-checkpoint write-log suffixes, and GC'd sweeps are
+		// not re-spawned at all. With no checkpoint completed the
+		// snapshot is empty and no frames go out. Headers were re-sent
+		// above on this same stream, so the restore always finds them.
+		if deadSet[pe] {
+			if err := r.restoreTo(ep, pe, res); err != nil {
+				return err
+			}
+		}
 	}
 	r.recoveries++
 	return nil
 }
 
-// chanRespawner respawns in-process workers on the channel transport.
-type chanRespawner struct {
-	t    *chanTransport
-	cfg  Config
-	geo  rtcfg.Geometry
-	prog *isa.Program
-	wg   *sync.WaitGroup
-	ctx  context.Context
-	eps  []Endpoint // replacement endpoints, closed by Execute's cleanup
+// restoreChunk bounds one KRestore frame's element span.
+const restoreChunk = 1 << 16
+
+// restoreTo ships the checkpoint snapshot of pe's owned segments to its
+// replacement as KRestore frames (KDump-shaped; applied as idempotent
+// owner writes). Chunks with no present elements are skipped.
+func (r *recovery) restoreTo(ep Endpoint, pe int, res *Result) error {
+	for id, g := range res.arrays {
+		lo, hi := g.h.SegmentElems(pe)
+		for base := lo; base < hi; base += restoreChunk {
+			end := min(base+restoreChunk, hi)
+			any := false
+			for i := base; i < end; i++ {
+				if g.mask[i] {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			m := &Msg{Kind: KRestore, Arr: id, Off: int32(base), Epoch: r.epoch,
+				Vals: append([]isa.Value(nil), g.raw[base:end]...),
+				Set:  append([]bool(nil), g.mask[base:end]...)}
+			if err := ep.Send(pe, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
-func (r *chanRespawner) respawn(pe int, inc, epoch int32, incs []int32) ([]string, error) {
-	ep := r.t.replace(pe)
-	r.eps = append(r.eps, ep)
-	w := newWorker(pe, r.cfg.NumPEs, r.geo, r.prog, ep, r.cfg.workerOpts())
-	w.enableRecovery(inc, epoch, incs)
-	r.wg.Add(1)
-	go func() {
-		defer r.wg.Done()
-		w.run(r.ctx)
-	}()
-	return nil, nil
+// dropSweeps garbage-collects the driver's fan-out log: assignments whose
+// sweep completed a checkpoint are covered by the snapshot and need never
+// be replayed again. The entry spawn (sweep 0) is permanent.
+func (r *recovery) dropSweeps(sweeps []int64) {
+	if len(sweeps) == 0 {
+		return
+	}
+	done := make(map[int64]bool, len(sweeps))
+	for _, s := range sweeps {
+		if s != 0 {
+			done[s] = true
+		}
+	}
+	kept := r.log[:0]
+	for _, f := range r.log {
+		if !done[f.sweep] {
+			kept = append(kept, f)
+		}
+	}
+	for i := len(kept); i < len(r.log); i++ {
+		r.log[i] = fanout{}
+	}
+	r.log = kept
 }

@@ -4,13 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/cluster/trace"
 	"repro/internal/isa"
 	"repro/internal/istructure"
-	"repro/internal/rtcfg"
 )
 
 // Stats aggregates cluster-wide dynamic counts gathered from the workers'
@@ -27,6 +25,7 @@ type Stats struct {
 	Rebounds      int64 // adaptive Range-Filter cut broadcasts (Config.Adapt)
 	Recoveries    int64 // worker deaths survived by respawn + replay (Config.Recover)
 	ReplayedSPs   int64 // root assignments replayed against replacement workers
+	Checkpoints   int64 // completed replay-log GC checkpoints (Recover+Adapt)
 }
 
 // PEStat is one worker's counter breakdown from its final probe answer —
@@ -45,10 +44,14 @@ type PEStat struct {
 	Replayed      int64
 }
 
-// gathered is one assembled array after a run.
+// gathered is one assembled array after a run. raw keeps the wire values
+// alongside the float view: a checkpoint restore (KRestore) must replay
+// the exact Value a worker wrote — single-assignment idempotence compares
+// full values, not float projections.
 type gathered struct {
 	h    *istructure.Header
 	vals []float64
+	raw  []isa.Value
 	mask []bool
 }
 
@@ -62,9 +65,13 @@ func (g *gathered) merge(m *Msg) error {
 		return fmt.Errorf("cluster: dump segment [%d,%d) with %d presence bits does not fit array %q (%d elements)",
 			base, base+len(m.Vals), len(m.Set), g.h.Name, len(g.vals))
 	}
+	if g.raw == nil {
+		g.raw = make([]isa.Value, len(g.vals))
+	}
 	for i, v := range m.Vals {
 		if m.Set[i] {
 			g.vals[base+i] = v.AsFloat()
+			g.raw[base+i] = v
 			g.mask[base+i] = true
 		}
 	}
@@ -123,80 +130,12 @@ func (r *Result) ArrayNames() []string { return append([]string(nil), r.nameSeq.
 // context bounds the run; a blocked dataflow program (deadlock) is reported
 // when it expires.
 func Execute(ctx context.Context, prog *isa.Program, cfg Config, args ...isa.Value) (*Result, error) {
-	if err := cfg.fill(); err != nil {
+	f, err := OpenFleet(ctx, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if err := prog.Validate(); err != nil {
-		return nil, fmt.Errorf("cluster: %w", err)
-	}
-	entry := prog.Entry()
-	want := entry.NParams
-	if entry.HasResult {
-		want -= 2
-	}
-	if len(args) != want {
-		return nil, fmt.Errorf("cluster: entry %q wants %d args, got %d", entry.Name, want, len(args))
-	}
-	if entry.HasResult {
-		args = append(append([]isa.Value{}, args...), isa.SPRef(0), isa.Int(0))
-	}
-
-	if len(cfg.Workers) > 0 {
-		ep, rsp, cleanup, err := dialWorkers(ctx, cfg, prog)
-		if err != nil {
-			return nil, err
-		}
-		defer cleanup()
-		return drive(ctx, ep, cfg, entry, args, rsp)
-	}
-
-	// In-process channel transport: one goroutine per PE, zero shared
-	// program state — the workers communicate only through their
-	// endpoints. With fault injection armed (Config.KillPE/KillAfter) the
-	// transport severs the doomed PE's endpoint mid-run; with recovery
-	// enabled the respawner brings replacements up on fresh mailboxes.
-	killPE := -1
-	if cfg.KillAfter > 0 && cfg.KillPE >= 0 && cfg.KillPE < cfg.NumPEs {
-		killPE = cfg.KillPE
-	}
-	cnet := newChanNet(cfg.NumPEs, cfg.Latency, killPE, cfg.KillAfter)
-	eps := make([]Endpoint, cfg.NumPEs+1)
-	for i := range eps {
-		eps[i] = cnet.endpoint(i)
-	}
-	geo := rtcfg.Geometry{PEs: cfg.NumPEs, PageElems: cfg.PageElems, DistThreshold: cfg.DistThreshold}
-	var wg sync.WaitGroup
-	wctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	for pe := 0; pe < cfg.NumPEs; pe++ {
-		w := newWorker(pe, cfg.NumPEs, geo, prog, eps[pe], cfg.workerOpts())
-		if cfg.Recover {
-			w.enableRecovery(0, 0, nil)
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w.run(wctx)
-		}()
-	}
-	var rsp respawner
-	var crsp *chanRespawner
-	if cfg.Recover {
-		crsp = &chanRespawner{t: cnet, cfg: cfg, geo: geo, prog: prog, wg: &wg, ctx: wctx}
-		rsp = crsp
-	}
-	res, err := drive(ctx, eps[cfg.NumPEs], cfg, entry, args, rsp)
-	cancel()
-	wg.Wait()
-	for _, ep := range eps {
-		ep.Close()
-	}
-	if crsp != nil {
-		for _, ep := range crsp.eps {
-			ep.Close()
-		}
-	}
-	return res, err
+	defer f.Close()
+	return f.Submit(ctx, prog, cfg, args...)
 }
 
 // drive is the driver loop: spawn the entry SP on PE 0, then alternate
@@ -215,6 +154,34 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	ad := newAdaptCoord(n)
 	rec := newRecovery(n, cfg.Recover, rsp)
 	rec.peers = append([]string(nil), cfg.Workers...)
+
+	// Per-job budgets (admission control): MaxElems is enforced exactly at
+	// each KAlloc broadcast (the driver sees every allocation before any
+	// element is written); MaxInstrs is enforced at each completed probe
+	// round from the workers' acked instruction counters — round-lagged,
+	// but a job can only overshoot by one round's worth of work.
+	var allocElems int64
+
+	// Replay-log GC rides the adapt coordinator's sweep retirement: when a
+	// sweep is provably complete the driver checkpoints — every worker
+	// marks its write-log cut, dumps its owned segments once all peers'
+	// marks arrived, and on the driver's all-acked confirmation drops the
+	// logged writes now covered by the driver's snapshot plus the retired
+	// sweeps' fan-out entries (minus any a worker vetoed as still live).
+	var (
+		ckptSeq     int64   // monotone checkpoint IDs (Msg.Seq, nonzero)
+		ckptOpen    bool    // one checkpoint in flight at a time
+		ckptID      int64   // the open checkpoint's ID
+		ckptAcks    int     // workers that finished dumping
+		ckptSweeps  []int64 // sweeps the open checkpoint proposes to GC
+		ckptVetoed  []int64 // sweeps some worker reported still running
+		ckptPending []int64 // retired sweeps awaiting the next checkpoint
+		checkpoints int64
+	)
+	// An array can be checkpoint-dumped by its owner before the
+	// allocator's KAlloc broadcast reaches the driver (different FIFO
+	// streams); such dumps wait here for their header.
+	var pendingDumps map[int64][]*Msg
 
 	// Observability (Config.Trace): the timeline builder turns each
 	// completed probe round's acks into one delta-encoded sample per PE;
@@ -279,16 +246,33 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			for i, d := range m.Dims {
 				dims[i] = int(d)
 			}
+			if res.arrays[m.Arr] != nil {
+				// Duplicate broadcast (a recovery replay re-ran the
+				// allocating SP): array IDs are deterministic, so keep the
+				// assembled state — it may already hold checkpoint dumps.
+				return nil
+			}
 			h, err := istructure.NewHeader(m.Arr, m.Name, dims, cfg.PageElems, n, int(m.Origin), m.Dist)
 			if err != nil {
 				return err
 			}
-			g := &gathered{h: h, vals: make([]float64, h.Elems()), mask: make([]bool, h.Elems())}
+			allocElems += int64(h.Elems())
+			if cfg.MaxElems > 0 && allocElems > cfg.MaxElems {
+				return fmt.Errorf("cluster: job exceeded its element budget: %d elements allocated, budget %d (Config.MaxElems)",
+					allocElems, cfg.MaxElems)
+			}
+			g := &gathered{h: h, vals: make([]float64, h.Elems()), raw: make([]isa.Value, h.Elems()), mask: make([]bool, h.Elems())}
 			res.arrays[m.Arr] = g
 			if _, seen := res.byName[h.Name]; !seen {
 				res.nameSeq = append(res.nameSeq, h.Name)
 			}
 			res.byName[h.Name] = m.Arr
+			for _, d := range pendingDumps[m.Arr] {
+				if err := g.merge(d); err != nil {
+					return err
+				}
+			}
+			delete(pendingDumps, m.Arr)
 		case KFail:
 			return fmt.Errorf("cluster: %s", m.Name)
 		case KAck:
@@ -310,11 +294,59 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 		case KDump:
 			g := res.arrays[m.Arr]
 			if g == nil {
+				if m.Seq != 0 {
+					// Checkpoint dump racing the allocator's KAlloc
+					// broadcast on another stream: hold it for the header.
+					if pendingDumps == nil {
+						pendingDumps = make(map[int64][]*Msg)
+					}
+					pendingDumps[m.Arr] = append(pendingDumps[m.Arr], m)
+					return nil
+				}
 				return fmt.Errorf("cluster: dump for unknown array %d", m.Arr)
 			}
 			if err := g.merge(m); err != nil {
 				return err
 			}
+		case KCkptAck:
+			if !ckptOpen || m.Seq != ckptID {
+				return nil // stale ack from an aborted checkpoint
+			}
+			ckptAcks++
+			ckptVetoed = append(ckptVetoed, m.Iters...)
+			if ckptAcks < n {
+				return nil
+			}
+			// Every worker dumped: the driver's snapshot now covers all
+			// pre-cut logged writes. Confirm, GC the driver's own fan-out
+			// log, and release the workers' logs — minus sweeps some
+			// worker reported still live (those retry next checkpoint).
+			vetoed := make(map[int64]bool, len(ckptVetoed))
+			for _, s := range ckptVetoed {
+				vetoed[s] = true
+			}
+			var effective []int64
+			for _, s := range ckptSweeps {
+				if vetoed[s] {
+					ckptPending = append(ckptPending, s)
+				} else {
+					effective = append(effective, s)
+				}
+			}
+			for pe := 0; pe < n; pe++ {
+				ok := &Msg{Kind: KCkptOK, Seq: ckptID, Iters: append([]int64(nil), effective...)}
+				if err := ep.Send(pe, ok); err != nil {
+					if rec.enabled {
+						down = append(down, pe)
+						continue
+					}
+					return err
+				}
+			}
+			rec.dropSweeps(effective)
+			checkpoints++
+			ckptOpen = false
+			ckptSweeps, ckptVetoed = nil, nil
 		default:
 			return fmt.Errorf("cluster: driver got unexpected %s message", m.Kind)
 		}
@@ -336,6 +368,14 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	recoverNow := func() error {
 		dead := down
 		down = nil
+		// Abort any checkpoint in flight: its marks and acks mix
+		// incarnations. The sweeps return to the pending pool — nothing
+		// was GC'd (logs only drop on KCkptOK), so nothing is lost.
+		if ckptOpen {
+			ckptOpen = false
+			ckptPending = append(ckptPending, ckptSweeps...)
+			ckptSweeps, ckptVetoed = nil, nil
+		}
 		if err := rec.perform(ep, dead, res); err != nil {
 			return err
 		}
@@ -411,6 +451,17 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			continue
 		}
 		sampleTimeline(round)
+		if cfg.MaxInstrs > 0 {
+			var instrs int64
+			for pe := 0; pe < n; pe++ {
+				instrs += det.acks[pe].instrs
+			}
+			if instrs > cfg.MaxInstrs {
+				stopAll()
+				return nil, fmt.Errorf("cluster: job exceeded its instruction budget: %d instructions executed, budget %d (Config.MaxInstrs)",
+					instrs, cfg.MaxInstrs)
+			}
+		}
 		if det.roundDone() {
 			break
 		}
@@ -442,6 +493,36 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 			interval = cfg.ProbeInterval
 			continue
 		}
+		// Checkpoint kickoff rides the same round boundary as rebinds:
+		// sweeps the adapt coordinator has retired since the last
+		// checkpoint are proposed for replay-log GC (one checkpoint in
+		// flight at a time; new retirements queue for the next one).
+		if rec.enabled && cfg.Adapt {
+			ckptPending = append(ckptPending, ad.drainRetired()...)
+			if !ckptOpen && len(ckptPending) > 0 {
+				ckptSeq++
+				ckptID = ckptSeq
+				ckptSweeps = ckptPending
+				ckptPending = nil
+				ckptAcks = 0
+				ckptVetoed = nil
+				ckptOpen = true
+				for pe := 0; pe < n; pe++ {
+					m := &Msg{Kind: KCkpt, Seq: ckptID, Iters: append([]int64(nil), ckptSweeps...)}
+					if err := ep.Send(pe, m); err != nil {
+						down = append(down, pe)
+					}
+				}
+				if len(down) > 0 {
+					if err := recoverNow(); err != nil {
+						stopAll()
+						return nil, err
+					}
+					interval = cfg.ProbeInterval
+					continue
+				}
+			}
+		}
 		select {
 		case <-time.After(interval):
 		case <-ctx.Done():
@@ -459,6 +540,7 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 	res.Stats.Rebounds = ad.rebounds
 	res.Stats.Recoveries = rec.recoveries
 	res.Stats.ReplayedSPs += rec.replayed
+	res.Stats.Checkpoints = checkpoints
 	res.PEInstrs = det.perPEInstrs()
 	res.PEStats = det.perPEStats()
 
@@ -497,7 +579,9 @@ func drive(ctx context.Context, ep Endpoint, cfg Config, entry *isa.Template, ar
 		if rec.fenced(m) {
 			continue
 		}
-		if m.Kind == KDump {
+		if m.Kind == KDump && m.Seq == 0 {
+			// Seq != 0 marks a straggling checkpoint dump — merged below
+			// like any other, but not one of the requested segments.
 			expect--
 		}
 		if herr := handle(m); herr != nil {

@@ -10,7 +10,6 @@ import (
 	"sync"
 
 	"repro/internal/isa"
-	"repro/internal/rtcfg"
 )
 
 // The TCP transport runs each PE as its own endpoint over real sockets, so
@@ -83,18 +82,37 @@ func pump(conn net.Conn, box *mailbox, onInit func(net.Conn)) {
 }
 
 // tcpDriver is the driver's endpoint: one dialed connection per worker.
+// The mutex serializes writers — every concurrent job's driver loop sends
+// through this one endpoint — and guards re-homing swaps of a dead
+// worker's connection.
 type tcpDriver struct {
-	self  int
+	self int
+	box  *mailbox
+
+	mu    sync.Mutex
 	conns []net.Conn
-	box   *mailbox
 }
 
 func (d *tcpDriver) Send(to int, m *Msg) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if to < 0 || to >= len(d.conns) {
 		return fmt.Errorf("cluster: send to unknown worker %d", to)
 	}
 	m.From = int32(d.self)
 	return writeFrame(d.conns[to], m)
+}
+
+// repoint swaps pe's connection for a re-homed replacement. The old
+// connection's pump (if still running) exits on the close; its KDown
+// notice carries the old host generation and is fenced by the fleet.
+func (d *tcpDriver) repoint(pe int, conn net.Conn) {
+	d.mu.Lock()
+	if old := d.conns[pe]; old != nil {
+		old.Close()
+	}
+	d.conns[pe] = conn
+	d.mu.Unlock()
 }
 
 func (d *tcpDriver) Recv(ctx context.Context) (*Msg, error) { return d.box.recv(ctx) }
@@ -105,80 +123,19 @@ func (d *tcpDriver) TryRecv() (*Msg, bool) {
 }
 
 func (d *tcpDriver) Close() error {
+	d.mu.Lock()
 	for _, c := range d.conns {
 		c.Close()
 	}
+	d.mu.Unlock()
 	d.box.close()
 	return nil
 }
 
-// dialWorkers connects to cfg.Workers, ships each its KInit (geometry, peer
-// list, program), and returns the driver endpoint plus — when cfg.Recover
-// and spare addresses are configured — a respawner that re-homes a dead PE
-// onto a spare `podsd -worker`.
-func dialWorkers(ctx context.Context, cfg Config, prog *isa.Program) (Endpoint, respawner, func(), error) {
-	progBytes, err := isa.MarshalPods(prog)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	n := len(cfg.Workers)
-	d := &tcpDriver{self: n, box: newMailbox()}
-	rsp := &tcpRespawner{ctx: ctx, d: d, cfg: cfg, prog: progBytes,
-		workers: append([]string(nil), cfg.Workers...),
-		spares:  append([]string(nil), cfg.Spares...)}
-	var dialer net.Dialer
-	for i, addr := range cfg.Workers {
-		conn, err := dialer.DialContext(ctx, "tcp", addr)
-		if err != nil {
-			d.Close()
-			return nil, nil, nil, fmt.Errorf("cluster: dialing worker %d at %s: %w", i, addr, err)
-		}
-		d.conns = append(d.conns, conn)
-		init := initMsg(&cfg, i, 0, make([]int32, n), cfg.Workers, progBytes)
-		if err := writeFrame(conn, init); err != nil {
-			d.Close()
-			return nil, nil, nil, fmt.Errorf("cluster: configuring worker %d: %w", i, err)
-		}
-		go pumpWorkerConn(d, i, 0, conn)
-	}
-	var r respawner
-	if cfg.Recover {
-		r = rsp
-	}
-	return d, r, func() { d.Close() }, nil
-}
-
-// initMsg builds the KInit frame configuring worker pe — the single
-// definition of the init wire shape, shared by the initial dial and the
-// spare re-homing path so original workers and replacements can never be
-// configured differently.
-func initMsg(cfg *Config, pe int, epoch int32, incs []int32, peers []string, prog []byte) *Msg {
-	n := len(peers)
-	return &Msg{
-		Kind:          KInit,
-		From:          int32(n),
-		PE:            int32(pe),
-		NumPEs:        int32(n),
-		PageElems:     int32(cfg.PageElems),
-		DistThreshold: int32(cfg.DistThreshold),
-		CachePages:    int32(cfg.CachePages),
-		Steal:         cfg.Steal,
-		Adapt:         cfg.Adapt,
-		Recover:       cfg.Recover,
-		Trace:         cfg.Trace,
-		TraceCap:      int32(cfg.TraceCap),
-		TraceSample:   int32(cfg.TraceSample),
-		Epoch:         epoch,
-		Incs:          incs,
-		Peers:         append([]string(nil), peers...),
-		Prog:          prog,
-	}
-}
-
 // pumpWorkerConn pumps one worker connection into the driver's mailbox and
 // synthesizes a KDown notice when it drops: a worker dying mid-run is
-// detected at connection-loss speed, and the notice carries the
-// incarnation the connection served so a replaced worker's teardown is
+// detected at connection-loss speed, and the notice carries the host
+// generation the connection served so a replaced worker's teardown is
 // fenced instead of re-triggering recovery. After d.Close() the box is
 // closed, so the put is a no-op during normal cleanup.
 func pumpWorkerConn(d *tcpDriver, pe int, inc int32, conn net.Conn) {
@@ -186,43 +143,9 @@ func pumpWorkerConn(d *tcpDriver, pe int, inc int32, conn net.Conn) {
 	d.box.put(&Msg{Kind: KDown, From: int32(pe), PE: int32(pe), Inc: inc})
 }
 
-// tcpRespawner re-homes a dead PE onto the next spare worker address.
-type tcpRespawner struct {
-	ctx     context.Context
-	d       *tcpDriver
-	cfg     Config
-	prog    []byte
-	workers []string
-	spares  []string
-}
-
-func (r *tcpRespawner) respawn(pe int, inc, epoch int32, incs []int32) ([]string, error) {
-	if len(r.spares) == 0 {
-		return nil, fmt.Errorf("no spare worker addresses left (Config.Spares)")
-	}
-	addr := r.spares[0]
-	r.spares = r.spares[1:]
-	var dialer net.Dialer
-	conn, err := dialer.DialContext(r.ctx, "tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("dialing spare %s: %w", addr, err)
-	}
-	r.workers[pe] = addr
-	init := initMsg(&r.cfg, pe, epoch, incs, r.workers, r.prog)
-	if err := writeFrame(conn, init); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("configuring spare %s: %w", addr, err)
-	}
-	if old := r.d.conns[pe]; old != nil {
-		old.Close() // its pump's KDown carries the dead incarnation and is fenced
-	}
-	r.d.conns[pe] = conn
-	go pumpWorkerConn(r.d, pe, inc, conn)
-	return append([]string(nil), r.workers...), nil
-}
-
 // tcpWorker is a worker's endpoint: the accepted driver connection plus
-// lazily dialed peer connections.
+// lazily dialed peer connections. The mutex serializes writers — every
+// job instance hosted on this PE sends through this one endpoint.
 type tcpWorker struct {
 	self  int
 	n     int
@@ -237,14 +160,13 @@ type tcpWorker struct {
 
 func (t *tcpWorker) Send(to int, m *Msg) error {
 	m.From = int32(t.self)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if to == t.n {
-		t.mu.Lock()
-		conn := t.driver
-		t.mu.Unlock()
-		if conn == nil {
+		if t.driver == nil {
 			return errors.New("cluster: no driver connection")
 		}
-		return writeFrame(conn, m)
+		return writeFrame(t.driver, m)
 	}
 	if to < 0 || to >= t.n {
 		return fmt.Errorf("cluster: send to unknown endpoint %d", to)
@@ -303,10 +225,14 @@ func (t *tcpWorker) Close() error {
 	return nil
 }
 
-// ServeWorker runs one TCP worker PE on ln until the driver stops it (or
-// ctx expires). It accepts connections from the driver and from peer
-// workers, waits for the driver's KInit, and then runs the worker loop.
-// Each call serves exactly one cluster run.
+// ServeWorker runs one TCP worker PE on ln until the driver session ends
+// (fleet-level KStop, driver connection loss, or ctx expiry). It accepts
+// connections from the driver and from peer workers, waits for the
+// driver's fleet-level KInit (identity and peer table — programs and
+// knobs arrive per job), and then hosts any number of concurrent job
+// instances, created by KJobStart frames and torn down by KJobEnd. Each
+// call serves one driver session; a long-lived `podsd -worker` process
+// serves sessions in a loop, staying up across drivers and jobs.
 func ServeWorker(ctx context.Context, ln net.Listener) error {
 	t := &tcpWorker{box: newMailbox()}
 	onInit := func(conn net.Conn) {
@@ -329,8 +255,8 @@ func ServeWorker(ctx context.Context, ln net.Listener) error {
 			go func(conn net.Conn) {
 				pump(conn, t.box, onInit)
 				// If the driver's connection drops without a KStop (driver
-				// killed mid-run), close the mailbox so the worker loop
-				// drains what it has and exits instead of hanging forever.
+				// killed mid-run), close the mailbox so the host drains
+				// what it has and exits instead of hanging forever.
 				t.mu.Lock()
 				isDriver := conn == t.driver
 				t.mu.Unlock()
@@ -350,8 +276,8 @@ func ServeWorker(ctx context.Context, ln net.Listener) error {
 		t.Close()
 	}()
 
-	// Wait for the driver's configuration; messages from eager peers can
-	// arrive first and are replayed into the worker once it exists.
+	// Wait for the driver's fleet configuration; frames from eager peers
+	// can arrive first and are replayed into the host once it exists.
 	var stash []*Msg
 	var init *Msg
 	for init == nil {
@@ -365,39 +291,16 @@ func ServeWorker(ctx context.Context, ln net.Listener) error {
 			stash = append(stash, m)
 		}
 	}
-	prog, err := isa.UnmarshalPods(init.Prog)
-	if err != nil {
-		return fmt.Errorf("cluster: worker init: %w", err)
-	}
 	t.self = int(init.PE)
 	t.n = int(init.NumPEs)
 	t.peers = init.Peers
 	t.dialed = make([]net.Conn, t.n)
-	geo := rtcfg.Geometry{
-		PEs:           t.n,
-		PageElems:     int(init.PageElems),
-		DistThreshold: int(init.DistThreshold),
-	}
-	w := newWorker(int(init.PE), t.n, geo, prog, t, workerOpts{
-		steal:       init.Steal,
-		adapt:       init.Adapt,
-		cachePages:  int(init.CachePages),
-		trace:       init.Trace,
-		traceCap:    int(init.TraceCap),
-		traceSample: int(init.TraceSample),
-	})
-	if init.Recover {
-		// A spare joining mid-run learns its own incarnation from the
-		// vector; an original worker starts at incarnation 0, epoch 0.
-		var inc int32
-		if int(init.PE) < len(init.Incs) {
-			inc = init.Incs[init.PE]
+	h := newFleetHost(t.self, t.n, t, func(_ int32, wire []byte) (*isa.Program, error) {
+		if len(wire) == 0 {
+			return nil, errors.New("job start carried no program")
 		}
-		w.enableRecovery(inc, init.Epoch, init.Incs)
-	}
-	for _, m := range stash {
-		w.handle(m)
-	}
-	w.run(ctx)
+		return isa.UnmarshalPods(wire)
+	})
+	h.serve(ctx, stash)
 	return nil
 }

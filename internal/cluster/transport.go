@@ -190,11 +190,14 @@ type chanTransport struct {
 // chanEndpoint is one endpoint of a chanTransport. The receive side binds
 // to the mailbox current at creation; the send side resolves the target's
 // mailbox per send, so replacement takes effect for everyone at once.
+// dead is atomic because a fleet host shares one endpoint across every
+// job's worker goroutine: the kill can fire inside one job's send while
+// another job is mid-send.
 type chanEndpoint struct {
 	net  *chanTransport
 	self int
 	box  *mailbox
-	dead bool // fault injection fired: the "machine" is off
+	dead atomic.Bool // fault injection fired: the "machine" is off
 }
 
 // newChanNet builds the transport for n workers plus the driver (index n).
@@ -237,7 +240,7 @@ func newChanTransport(n int, latency time.Duration) []Endpoint {
 }
 
 func (e *chanEndpoint) Send(to int, m *Msg) error {
-	if e.dead {
+	if e.dead.Load() {
 		return ErrClosed
 	}
 	t := e.net
@@ -249,7 +252,7 @@ func (e *chanEndpoint) Send(to int, m *Msg) error {
 		if t.killSent.Add(1) > t.killAfter && t.killed.CompareAndSwap(false, true) {
 			// The fault fires: this frame is lost on the wire, the endpoint
 			// goes dark, and the driver hears the "connection reset".
-			e.dead = true
+			e.dead.Store(true)
 			t.mu.RLock()
 			box := t.boxes[driver]
 			t.mu.RUnlock()
@@ -266,14 +269,14 @@ func (e *chanEndpoint) Send(to int, m *Msg) error {
 }
 
 func (e *chanEndpoint) Recv(ctx context.Context) (*Msg, error) {
-	if e.dead {
+	if e.dead.Load() {
 		return nil, ErrClosed
 	}
 	return e.box.recv(ctx)
 }
 
 func (e *chanEndpoint) TryRecv() (*Msg, bool) {
-	if e.dead {
+	if e.dead.Load() {
 		return nil, false
 	}
 	m, ok, _, _ := e.box.pop()

@@ -147,6 +147,21 @@ type worker struct {
 	forwarded        int64 // tokens relayed through forwarding stubs
 	lateTokens       int64 // tokens dropped for halted SPs
 
+	// Steal-grant replay protection. A victim numbers the grants it sends
+	// each thief (grantSeq); a thief remembers the highest grant sequence
+	// applied per (victim, incarnation) (seenGrant) and drops a whole
+	// grant at or below that mark, so a re-delivered completed grant can
+	// never double-apply its SPs. Incarnation-keyed: a respawned victim's
+	// counters legitimately restart from 1.
+	grantSeq  map[int]int64
+	seenGrant map[grantKey]int64
+	dupGrants int64 // grants dropped by the sequence fence
+
+	// job is the owning job's ID on a fleet (0 in direct single-run
+	// harnesses); packed into every minted SP/array/sweep ID so two jobs'
+	// object namespaces can never collide.
+	job int32
+
 	// Failure recovery (enabled by Config.Recover). inc is this worker's
 	// own incarnation (0 for an original, >0 for a replacement); incs is
 	// the known incarnation of every PE, updated by KRecover — frames from
@@ -162,6 +177,7 @@ type worker struct {
 	recover   bool
 	inc       int32
 	epoch     int32
+	minEpoch  int32 // epoch this incarnation was born into (birth fence)
 	incs      []int32
 	recovered bool  // some recovery has happened: tolerate duplicate-execution tokens
 	staleMsgs int64 // frames and tokens dropped by incarnation fencing
@@ -172,6 +188,21 @@ type worker struct {
 	allocLog  []*istructure.Header // arrays this worker allocated (broadcasts replayed)
 	fanoutLog []fanoutRec          // SPAWND fan-outs this worker performed
 	replayed  int64                // SPs this worker re-sent or re-instantiated for replacements
+
+	// Replay-log GC (driver-coordinated checkpoints; see KCkpt). arrays
+	// lists every installed array ID, the iteration order for checkpoint
+	// dumps of owned segments. ckpt* is the in-flight checkpoint: its ID,
+	// the per-destination write-log cut recorded when it started, and the
+	// sweeps it proposes to GC. ckptMark records peer marks keyed by
+	// checkpoint ID — a peer's mark can overtake this worker's own KCkpt
+	// (different FIFO streams), so early marks are held until the KCkpt
+	// names them. Stale entries are pruned when the next checkpoint starts.
+	arrays     []int64
+	ckptID     int64
+	ckptDumped bool
+	ckptCuts   map[int]int
+	ckptSweeps []int64
+	ckptMark   map[int64]map[int]bool
 
 	// Epoch flushing. A frame sent in an older epoch is invisible to the
 	// new epoch's counters on both ends, so the sums alone cannot prove
@@ -262,6 +293,12 @@ type grantRec struct {
 	from  int
 }
 
+// grantKey identifies one victim incarnation in a thief's seenGrant table.
+type grantKey struct {
+	pe  int
+	inc int32
+}
+
 // fanoutRec is one SPAWND fan-out this worker performed: the spawner is
 // the one authority on what each PE was assigned, so a respawned peer's
 // copy is replayed from here — no wire race can lose it. cuts aliases the
@@ -313,6 +350,7 @@ func (w *worker) enableRecovery(inc, epoch int32, incs []int32) {
 	w.recover = true
 	w.inc = inc
 	w.epoch = epoch
+	w.minEpoch = epoch
 	if incs == nil {
 		incs = make([]int32, w.n)
 	}
@@ -343,6 +381,15 @@ func (w *worker) bumpEpoch(epoch int32) {
 		clear(w.flushFrom)
 		w.flushed = 0
 	}
+	// An in-flight checkpoint dies with the old epoch: the driver aborts it
+	// on its side (the proposed sweeps return to pending) and a stale mark
+	// or OK must not resurrect it here. Aborted checkpoint IDs are never
+	// reused, so clearing the mark table cannot lose marks of a live one.
+	w.ckptID = 0
+	w.ckptDumped = false
+	w.ckptCuts = nil
+	w.ckptSweeps = nil
+	w.ckptMark = nil
 }
 
 // sendFlush announces this worker's current epoch to every peer. Sent
@@ -455,8 +502,8 @@ func (w *worker) debugDump(why string) {
 		return
 	}
 	for id, sp := range w.insts {
-		fmt.Fprintf(os.Stderr, "DEBUG(%s) pe %d inc %d live SP %d (pe %d inc %d) tmpl %q pc %d blocked %d stolen %v\n",
-			why, w.pe, w.inc, id, peOf(id), incOf(id), sp.tmpl.Name, sp.pc, sp.blocked, sp.stolen)
+		fmt.Fprintf(os.Stderr, "DEBUG(%s) pe %d inc %d live SP %d (job %d pe %d inc %d) tmpl %q pc %d blocked %d stolen %v\n",
+			why, w.pe, w.inc, id, jobOf(id), peOf(id), incOf(id), sp.tmpl.Name, sp.pc, sp.blocked, sp.stolen)
 	}
 	fmt.Fprintf(os.Stderr, "DEBUG(%s) pe %d inc %d pendingReads %d waitArray %d outReads %d ready %d epoch %d sent %d recv %d\n",
 		why, w.pe, w.inc, w.shard.PendingReads(), len(w.waitArray), len(w.outReads), len(w.ready)-w.readyHead-w.readyNil, w.epoch, w.sent, w.recv)
@@ -694,7 +741,13 @@ func (w *worker) handleStealReq(m *Msg) {
 		}
 	}
 	w.rec(trace.EvStealGrant, int64(thief), int64(len(items)))
-	w.send(thief, &Msg{Kind: KStealGrant, Batch: items})
+	// Grants to each thief are numbered from 1 so the thief can fence a
+	// re-delivered (replayed) grant it has already applied.
+	if w.grantSeq == nil {
+		w.grantSeq = make(map[int]int64)
+	}
+	w.grantSeq[thief]++
+	w.send(thief, &Msg{Kind: KStealGrant, Seq: w.grantSeq[thief], Batch: items})
 }
 
 // handleStealDone retires one completed steal grant: the stub becomes a
@@ -857,6 +910,24 @@ func (w *worker) installStolen(m *Msg) {
 		w.fail(errors.New("empty steal grant"))
 		return
 	}
+	// Grant-sequence fence: a victim numbers its grants per thief, and a
+	// re-delivered grant at or below the highest sequence already applied
+	// from this (victim, incarnation) is dropped whole — its SPs were
+	// installed (and may have run to completion) the first time, so
+	// re-applying would fail the duplicate-live-SP check at best and run the
+	// work twice at worst. Keyed by incarnation: a respawned victim's
+	// numbering legitimately restarts from 1.
+	key := grantKey{pe: int(m.From), inc: m.Inc}
+	if m.Seq != 0 {
+		if w.seenGrant == nil {
+			w.seenGrant = make(map[grantKey]int64)
+		}
+		if m.Seq <= w.seenGrant[key] {
+			w.dupGrants++
+			return
+		}
+		w.seenGrant[key] = m.Seq
+	}
 	w.rec(trace.EvStealIn, int64(m.From), int64(len(m.Batch)))
 	for i := range m.Batch {
 		it := &m.Batch[i]
@@ -906,6 +977,18 @@ func (w *worker) handle(m *Msg) {
 	// stale frame could only duplicate or corrupt — and a zombie (a worker
 	// presumed dead that is still limping) is silenced the same way.
 	if f := int(m.From); f >= 0 && f < w.n && w.incs != nil && m.Inc < w.incs[f] {
+		w.staleMsgs++
+		return
+	}
+	// Birth-epoch fence: a replacement joins at its recovery's new epoch,
+	// and any peer frame stamped with an older one was in flight toward
+	// its dead predecessor (on a fleet, the re-homed host faithfully
+	// stashes and delivers traffic a severed mailbox used to drop). The
+	// predecessor's requests died with it and everything durable is
+	// replayed under the new epoch, so a pre-birth frame can only
+	// duplicate or corrupt. Driver frames are exempt: the driver's stream
+	// is repointed at respawn, so nothing pre-birth survives on it.
+	if int(m.From) != w.driverID() && m.Epoch < w.minEpoch {
 		w.staleMsgs++
 		return
 	}
@@ -1054,6 +1137,18 @@ func (w *worker) handle(m *Msg) {
 	case KDumpReq:
 		w.handleDumpReq(m)
 
+	case KCkpt:
+		w.startCkpt(m)
+
+	case KCkptMark:
+		w.handleCkptMark(m)
+
+	case KCkptOK:
+		w.finishCkpt(m)
+
+	case KRestore:
+		w.handleRestore(m)
+
 	case KFail:
 		// A peer's transport pump reported a decode/socket error.
 		w.fail(errors.New(m.Name))
@@ -1077,7 +1172,7 @@ func (w *worker) instantiate(tmpl *isa.Template, args []isa.Value) *spInst {
 	}
 	w.nextSP++
 	sp := &spInst{
-		id:          packIncID(w.pe, w.inc, w.nextSP),
+		id:          packJobID(w.job, w.pe, w.inc, w.nextSP),
 		tmpl:        tmpl,
 		frame:       make([]isa.Value, tmpl.NSlots),
 		present:     make([]bool, tmpl.NSlots),
@@ -1522,7 +1617,7 @@ func (w *worker) step() {
 				var cuts []int64
 				if w.adapt && child.Distributed {
 					w.nextSweep++
-					sweep = packIncID(w.pe, w.inc, w.nextSweep)
+					sweep = packJobID(w.job, w.pe, w.inc, w.nextSweep)
 					cuts = w.cuts[child.ID]
 				}
 				if w.recover {

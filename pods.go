@@ -242,6 +242,51 @@ func (p *Program) ExecuteCluster(ctx context.Context, cfg ClusterConfig, args ..
 	return &ClusterResult{Value: res.Value, res: res, tmplName: name}, nil
 }
 
+// ClusterFleet is a persistent message-passing cluster: the workers come
+// up once and stay up across any number of jobs, submitted concurrently
+// from any goroutine. Each job gets its own isolated worker instances
+// (I-structure shards, run queues, recovery logs, trace rings) keyed by a
+// job ID, so concurrent jobs cannot observe each other. ExecuteCluster is
+// the one-shot special case: open, submit one job, close.
+type ClusterFleet struct {
+	f *cluster.Fleet
+}
+
+// OpenClusterFleet brings a persistent fleet up. cfg fixes the transport
+// (in-process channel workers, or TCP when cfg.Workers lists addresses),
+// the PE count, and the concurrent-job cap (cfg.MaxJobs); scheduling
+// knobs and budgets are chosen per job at Submit time.
+func OpenClusterFleet(ctx context.Context, cfg ClusterConfig) (*ClusterFleet, error) {
+	f, err := cluster.OpenFleet(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterFleet{f: f}, nil
+}
+
+// Submit runs one program on the fleet and waits for its result. Safe for
+// concurrent use; each call is an isolated job. cfg supplies the job's
+// scheduling knobs, geometry, and budgets (ClusterConfig.MaxInstrs,
+// MaxElems) — transport fields come from the fleet.
+func (f *ClusterFleet) Submit(ctx context.Context, p *Program, cfg ClusterConfig, args ...Value) (*ClusterResult, error) {
+	res, err := f.f.Submit(ctx, p.sys.Program, cfg, args...)
+	if err != nil {
+		return nil, err
+	}
+	prog := p.sys.Program
+	name := func(tmpl int64) string {
+		if t := prog.Template(int(tmpl)); t != nil {
+			return t.Name
+		}
+		return ""
+	}
+	return &ClusterResult{Value: res.Value, res: res, tmplName: name}, nil
+}
+
+// Close shuts the fleet down. Jobs still in flight fail; Close is
+// idempotent.
+func (f *ClusterFleet) Close() error { return f.f.Close() }
+
 // MustCompile is Compile that panics on error (for examples and tests).
 func MustCompile(filename, src string) *Program {
 	p, err := Compile(filename, src)
