@@ -214,6 +214,16 @@ func run(argv []string) error {
 		if err := emitCSV(*csvDir, "cache.csv", r.WriteCSV); err != nil {
 			return err
 		}
+		// BENCH_CACHE.json is the machine-readable record of the heat
+		// machinery's acceptance numbers; written unconditionally (into
+		// -csv's directory when given, the working directory otherwise).
+		jsonDir := *csvDir
+		if jsonDir == "" {
+			jsonDir = "."
+		}
+		if err := emitCSV(jsonDir, "BENCH_CACHE.json", r.WriteJSON); err != nil {
+			return err
+		}
 	}
 	if section("TRACE") {
 		fmt.Println(hr)

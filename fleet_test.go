@@ -32,6 +32,10 @@ var fleetJobColumns = []struct {
 		Steal: true, Adapt: true, ProbeInterval: 20 * time.Microsecond,
 		Trace: true, TraceCap: 256,
 	}},
+	{"heat+steal+adapt+evict", pods.ClusterConfig{
+		PageElems: determinacyPage, CachePages: 2, Heat: true,
+		Steal: true, Adapt: true, ProbeInterval: 20 * time.Microsecond,
+	}},
 }
 
 func TestBackendAgreementConcurrentJobs(t *testing.T) {

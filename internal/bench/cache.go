@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/isa"
 	"repro/internal/kernels"
 )
 
@@ -33,16 +35,28 @@ import (
 // matmul (every row task re-reads all of B, so its working set exceeds any
 // small cap and the hit-rate curve actually bends — heat and relax touch
 // remote pages in tight bursts and barely notice eviction).
+//
+// Since the page-heat machinery landed (Config.Heat), every bounded cell
+// also runs a heat-on arm: streaming prefetch plus the adaptive cap,
+// against the same fixed budget as the floor. The heat arm's hit rate at
+// the caps where the plain bound collapses — matmul under a working set
+// many times the cap — is the experiment's headline. A separate triread
+// probe compares post-steal remote fetches with stealing on: array-
+// granular locality (heat off, the PR 4 baseline) against page-granular
+// ranking plus prefetch (heat on).
 
-// CacheCell is one (kernel, cap) measurement.
+// CacheCell is one (kernel, cap, heat) measurement.
 type CacheCell struct {
-	Wall      time.Duration
-	Makespan  int64   // max per-PE executed instructions
-	HitRate   float64 // hits / (hits + misses); 1.0 when there were no remote reads
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Refetches int64
+	Wall         time.Duration
+	Makespan     int64   // max per-PE executed instructions
+	HitRate      float64 // hits / (hits + misses); 1.0 when there were no remote reads
+	Hits         int64
+	Misses       int64
+	Evictions    int64
+	Refetches    int64
+	Prefetches   int64 // pages requested ahead of the miss (heat arm)
+	PrefetchHits int64 // prefetched pages that later served a demand read
+	CapEnd       int64 // final resident-page budget summed over PEs (adaptive cap)
 }
 
 // CacheResult is the CACHE experiment output.
@@ -51,8 +65,19 @@ type CacheResult struct {
 	PEs     int
 	Caps    []int // page-cache caps; 0 = unbounded control arm
 	Kernels []string
-	// Cells[kernel][cap].
+	// Cells[kernel][cap] is the plain bounded cache (heat off).
 	Cells map[string]map[int]CacheCell
+	// HeatCells[kernel][cap] is the same budget with Config.Heat on
+	// (prefetch + adaptive cap). The unbounded cap 0 is skipped — with no
+	// bound there is nothing for the machinery to win back.
+	HeatCells map[string]map[int]CacheCell
+
+	// StealOff/StealOn are the triread post-steal probe: the deterministic
+	// hand-pumped steal schedule (cluster.StealFetchProbe) at StealCap
+	// pages, heat off vs on. Misses are the post-steal demand fetches the
+	// page-granular grant ranking and prefetch are meant to avoid.
+	StealCap          int
+	StealOff, StealOn cluster.StealFetchStats
 }
 
 // cacheKernels are the default workloads for the cap sweep.
@@ -67,17 +92,53 @@ func Cache(n, pes int, caps []int, kerns ...string) (*CacheResult, error) {
 		// reporting a ~1.0 hit-rate ratio as if the bound cost nothing.
 		return nil, fmt.Errorf("bench: CACHE needs a genuine unbounded control arm; unset PODS_FORCE_CACHE_PAGES")
 	}
+	if cluster.ForcePrefetchFromEnv() {
+		// Likewise: the heat-off arms are the baseline the heat arms are
+		// measured against.
+		return nil, fmt.Errorf("bench: CACHE needs a genuine heat-off baseline; unset PODS_FORCE_PREFETCH")
+	}
 	if len(kerns) == 0 {
 		kerns = cacheKernels
 	}
 	r := &CacheResult{
-		N:       n,
-		PEs:     pes,
-		Caps:    caps,
-		Kernels: kerns,
-		Cells:   make(map[string]map[int]CacheCell),
+		N:         n,
+		PEs:       pes,
+		Caps:      caps,
+		Kernels:   kerns,
+		Cells:     make(map[string]map[int]CacheCell),
+		HeatCells: make(map[string]map[int]CacheCell),
 	}
 	ctx := context.Background()
+	run := func(prog *isa.Program, cfg cluster.Config, args []isa.Value) (CacheCell, error) {
+		runCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+		defer cancel()
+		start := time.Now()
+		res, err := cluster.Execute(runCtx, prog, cfg, args...)
+		if err != nil {
+			return CacheCell{}, err
+		}
+		cell := CacheCell{
+			Wall:         time.Since(start),
+			Hits:         res.Stats.CacheHits,
+			Misses:       res.Stats.CacheMisses,
+			Evictions:    res.Stats.Evictions,
+			Refetches:    res.Stats.Refetches,
+			Prefetches:   res.Stats.Prefetches,
+			PrefetchHits: res.Stats.PrefetchHits,
+			CapEnd:       res.Stats.CacheCapNow,
+		}
+		if total := cell.Hits + cell.Misses; total > 0 {
+			cell.HitRate = float64(cell.Hits) / float64(total)
+		} else {
+			cell.HitRate = 1
+		}
+		for _, v := range res.PEInstrs {
+			if v > cell.Makespan {
+				cell.Makespan = v
+			}
+		}
+		return cell, nil
+	}
 	for _, kn := range r.Kernels {
 		k, ok := kernels.ByName(kn)
 		if !ok {
@@ -88,33 +149,52 @@ func Cache(n, pes int, caps []int, kerns ...string) (*CacheResult, error) {
 			return nil, err
 		}
 		r.Cells[kn] = make(map[int]CacheCell)
+		r.HeatCells[kn] = make(map[int]CacheCell)
 		for _, cap := range caps {
-			runCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
-			start := time.Now()
-			res, err := cluster.Execute(runCtx, prog,
-				cluster.Config{NumPEs: pes, CachePages: cap}, k.Args(n)...)
-			cancel()
+			cell, err := run(prog, cluster.Config{NumPEs: pes, CachePages: cap}, k.Args(n))
 			if err != nil {
 				return nil, fmt.Errorf("%s @cap=%d: %w", kn, cap, err)
 			}
-			cell := CacheCell{
-				Wall:      time.Since(start),
-				Hits:      res.Stats.CacheHits,
-				Misses:    res.Stats.CacheMisses,
-				Evictions: res.Stats.Evictions,
-				Refetches: res.Stats.Refetches,
-			}
-			if total := cell.Hits + cell.Misses; total > 0 {
-				cell.HitRate = float64(cell.Hits) / float64(total)
-			} else {
-				cell.HitRate = 1
-			}
-			for _, v := range res.PEInstrs {
-				if v > cell.Makespan {
-					cell.Makespan = v
-				}
-			}
 			r.Cells[kn][cap] = cell
+			if cap == 0 {
+				continue // unbounded: nothing for the heat machinery to win back
+			}
+			hcell, err := run(prog, cluster.Config{NumPEs: pes, CachePages: cap, Heat: true}, k.Args(n))
+			if err != nil {
+				return nil, fmt.Errorf("%s @cap=%d heat: %w", kn, cap, err)
+			}
+			r.HeatCells[kn][cap] = hcell
+		}
+	}
+
+	// The post-steal locality probe: triread reads one shared array, so
+	// array-granular steal locality cannot separate candidates and the
+	// thief pays a demand fetch per stolen row's page. Page-granular
+	// ranking plus prefetch is what the heat machinery claims to fix. The
+	// probe runs the deterministic pumped schedule so both arms see
+	// identical steal opportunities and the fetch counts are exact, and it
+	// is pinned to the configuration of the original batched-locality
+	// acceptance test (triread, n=26 @8 PEs) so "versus the PR 4 baseline"
+	// is a like-for-like comparison regardless of the sweep's own n.
+	const stealN, stealPEs = 26, 8
+	tk, ok := kernels.ByName("triread")
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown kernel %q", "triread")
+	}
+	tprog, err := Compile(tk.File(), tk.Source, true)
+	if err != nil {
+		return nil, err
+	}
+	r.StealCap = 8
+	for _, heatOn := range []bool{false, true} {
+		st, err := cluster.StealFetchProbe(tprog, tk.Args(stealN), stealPEs, r.StealCap, heatOn)
+		if err != nil {
+			return nil, fmt.Errorf("triread steal probe heat=%v: %w", heatOn, err)
+		}
+		if heatOn {
+			r.StealOn = st
+		} else {
+			r.StealOff = st
 		}
 	}
 	return r, nil
@@ -124,40 +204,151 @@ func Cache(n, pes int, caps []int, kerns ...string) (*CacheResult, error) {
 func (r *CacheResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "CACHE — bounded page cache with CLOCK eviction, n=%d @%dPE (cap in pages per shard; 0 = unbounded)\n", r.N, r.PEs)
-	fmt.Fprintf(&b, "hit-rate = hits÷(hits+misses) over remote reads; refetches = evicted pages fetched again\n\n")
-	fmt.Fprintf(&b, "%-8s %5s %12s %10s %8s %8s %8s %8s %9s\n",
-		"kernel", "cap", "wall-ms", "makespan", "hitrate", "hits", "misses", "evicts", "refetches")
+	fmt.Fprintf(&b, "hit-rate = hits÷(hits+misses) over remote reads; refetches = evicted pages fetched again\n")
+	fmt.Fprintf(&b, "heat = streaming prefetch + adaptive cap on the same budget; cap-end = final budget summed over PEs\n\n")
+	fmt.Fprintf(&b, "%-8s %5s %-4s %12s %10s %8s %8s %8s %8s %9s %9s %7s %7s\n",
+		"kernel", "cap", "heat", "wall-ms", "makespan", "hitrate", "hits", "misses", "evicts", "refetches", "prefetch", "pf-hit", "cap-end")
 	ms := func(d time.Duration) string {
 		return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
 	}
+	row := func(kn string, cap int, heat string, c CacheCell) {
+		fmt.Fprintf(&b, "%-8s %5d %-4s %12s %10d %8.3f %8d %8d %8d %9d %9d %7d %7d\n",
+			kn, cap, heat, ms(c.Wall), c.Makespan, c.HitRate, c.Hits, c.Misses,
+			c.Evictions, c.Refetches, c.Prefetches, c.PrefetchHits, c.CapEnd)
+	}
 	for _, kn := range r.Kernels {
 		for _, cap := range r.Caps {
-			c := r.Cells[kn][cap]
-			fmt.Fprintf(&b, "%-8s %5d %12s %10d %8.3f %8d %8d %8d %9d\n",
-				kn, cap, ms(c.Wall), c.Makespan, c.HitRate, c.Hits, c.Misses, c.Evictions, c.Refetches)
+			row(kn, cap, "off", r.Cells[kn][cap])
+			if hc, ok := r.HeatCells[kn][cap]; ok {
+				row(kn, cap, "on", hc)
+			}
 		}
 	}
+	fmt.Fprintf(&b, "\ntriread post-steal probe (pumped schedule, steal on, cap %d):\n", r.StealCap)
+	fmt.Fprintf(&b, "  heat off: %d steals, %d demand fetches, %d hits\n",
+		r.StealOff.Steals, r.StealOff.Misses, r.StealOff.Hits)
+	fmt.Fprintf(&b, "  heat on:  %d steals, %d demand fetches, %d hits, %d prefetches (%d hit)\n",
+		r.StealOn.Steals, r.StealOn.Misses, r.StealOn.Hits, r.StealOn.Prefetches, r.StealOn.PrefetchHits)
 	return b.String()
 }
 
-// WriteCSV emits kernel,cap,wall_ms,makespan,hit_rate,hits,misses,
-// evictions,refetches rows.
+// WriteCSV emits kernel,cap,heat,wall_ms,makespan,hit_rate,hits,misses,
+// evictions,refetches,prefetches,prefetch_hits,cap_end rows; the triread
+// post-steal probe rides along as kernel "triread+steal".
 func (r *CacheResult) WriteCSV(w io.Writer) error {
 	var rows [][]string
+	row := func(kn string, cap int, heat string, c CacheCell) {
+		rows = append(rows, []string{
+			kn, strconv.Itoa(cap), heat,
+			fmtF(float64(c.Wall.Microseconds()) / 1000),
+			strconv.FormatInt(c.Makespan, 10),
+			fmtF(c.HitRate),
+			strconv.FormatInt(c.Hits, 10),
+			strconv.FormatInt(c.Misses, 10),
+			strconv.FormatInt(c.Evictions, 10),
+			strconv.FormatInt(c.Refetches, 10),
+			strconv.FormatInt(c.Prefetches, 10),
+			strconv.FormatInt(c.PrefetchHits, 10),
+			strconv.FormatInt(c.CapEnd, 10),
+		})
+	}
 	for _, kn := range r.Kernels {
 		for _, cap := range r.Caps {
-			c := r.Cells[kn][cap]
-			rows = append(rows, []string{
-				kn, strconv.Itoa(cap),
-				fmtF(float64(c.Wall.Microseconds()) / 1000),
-				strconv.FormatInt(c.Makespan, 10),
-				fmtF(c.HitRate),
-				strconv.FormatInt(c.Hits, 10),
-				strconv.FormatInt(c.Misses, 10),
-				strconv.FormatInt(c.Evictions, 10),
-				strconv.FormatInt(c.Refetches, 10),
-			})
+			row(kn, cap, "off", r.Cells[kn][cap])
+			if hc, ok := r.HeatCells[kn][cap]; ok {
+				row(kn, cap, "on", hc)
+			}
 		}
 	}
-	return writeCSV(w, []string{"kernel", "cap", "wall_ms", "makespan", "hit_rate", "hits", "misses", "evictions", "refetches"}, rows)
+	probe := func(heat string, st cluster.StealFetchStats) {
+		hr := 1.0
+		if total := st.Hits + st.Misses; total > 0 {
+			hr = float64(st.Hits) / float64(total)
+		}
+		rows = append(rows, []string{
+			"triread+steal", strconv.Itoa(r.StealCap), heat, "", "",
+			fmtF(hr),
+			strconv.FormatInt(st.Hits, 10),
+			strconv.FormatInt(st.Misses, 10),
+			"", "",
+			strconv.FormatInt(st.Prefetches, 10),
+			strconv.FormatInt(st.PrefetchHits, 10),
+			"",
+		})
+	}
+	probe("off", r.StealOff)
+	probe("on", r.StealOn)
+	return writeCSV(w, []string{"kernel", "cap", "heat", "wall_ms", "makespan", "hit_rate",
+		"hits", "misses", "evictions", "refetches", "prefetches", "prefetch_hits", "cap_end"}, rows)
+}
+
+// WriteJSON emits the whole experiment as one machine-readable document
+// (the BENCH_CACHE.json artifact). Map keys are stringified caps, so the
+// document round-trips through ordinary JSON tooling.
+func (r *CacheResult) WriteJSON(w io.Writer) error {
+	type cell struct {
+		WallMS       float64 `json:"wall_ms"`
+		Makespan     int64   `json:"makespan"`
+		HitRate      float64 `json:"hit_rate"`
+		Hits         int64   `json:"hits"`
+		Misses       int64   `json:"misses"`
+		Evictions    int64   `json:"evictions"`
+		Refetches    int64   `json:"refetches"`
+		Prefetches   int64   `json:"prefetches"`
+		PrefetchHits int64   `json:"prefetch_hits"`
+		CapEnd       int64   `json:"cap_end"`
+	}
+	conv := func(c CacheCell) cell {
+		return cell{
+			WallMS:   float64(c.Wall.Microseconds()) / 1000,
+			Makespan: c.Makespan, HitRate: c.HitRate,
+			Hits: c.Hits, Misses: c.Misses,
+			Evictions: c.Evictions, Refetches: c.Refetches,
+			Prefetches: c.Prefetches, PrefetchHits: c.PrefetchHits,
+			CapEnd: c.CapEnd,
+		}
+	}
+	type probe struct {
+		Steals       int64 `json:"steals"`
+		Misses       int64 `json:"misses"`
+		Hits         int64 `json:"hits"`
+		Prefetches   int64 `json:"prefetches"`
+		PrefetchHits int64 `json:"prefetch_hits"`
+	}
+	convP := func(st cluster.StealFetchStats) probe {
+		return probe{Steals: st.Steals, Misses: st.Misses, Hits: st.Hits,
+			Prefetches: st.Prefetches, PrefetchHits: st.PrefetchHits}
+	}
+	doc := struct {
+		N         int                        `json:"n"`
+		PEs       int                        `json:"pes"`
+		Caps      []int                      `json:"caps"`
+		Kernels   []string                   `json:"kernels"`
+		Cells     map[string]map[string]cell `json:"cells"`
+		HeatCells map[string]map[string]cell `json:"heat_cells"`
+		StealCap  int                        `json:"steal_cap"`
+		StealOff  probe                      `json:"triread_steal_heat_off"`
+		StealOn   probe                      `json:"triread_steal_heat_on"`
+	}{
+		N: r.N, PEs: r.PEs, Caps: r.Caps, Kernels: r.Kernels,
+		Cells:     make(map[string]map[string]cell),
+		HeatCells: make(map[string]map[string]cell),
+		StealCap:  r.StealCap,
+		StealOff:  convP(r.StealOff), StealOn: convP(r.StealOn),
+	}
+	for kn, byCap := range r.Cells {
+		doc.Cells[kn] = make(map[string]cell)
+		for cap, c := range byCap {
+			doc.Cells[kn][strconv.Itoa(cap)] = conv(c)
+		}
+	}
+	for kn, byCap := range r.HeatCells {
+		doc.HeatCells[kn] = make(map[string]cell)
+		for cap, c := range byCap {
+			doc.HeatCells[kn][strconv.Itoa(cap)] = conv(c)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

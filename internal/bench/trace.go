@@ -234,10 +234,11 @@ func (r *TraceResult) WritePerPECSV(w io.Writer) error {
 				kn, strconv.Itoa(s.PE), i64(s.Instrs), i64(s.Sent), i64(s.Recv),
 				i64(s.DeferredReads), i64(s.CacheHits), i64(s.CacheMisses),
 				i64(s.Evictions), i64(s.Refetches), i64(s.Steals), i64(s.Forwards),
-				i64(s.Replayed),
+				i64(s.Replayed), i64(s.Prefetches), i64(s.PrefetchHits), i64(s.CacheCapNow),
 			})
 		}
 	}
 	return writeCSV(w, []string{"kernel", "pe", "instrs", "sent", "recv", "deferred",
-		"hits", "misses", "evicts", "refetches", "steals", "forwards", "replayed"}, rows)
+		"hits", "misses", "evicts", "refetches", "steals", "forwards", "replayed",
+		"prefetches", "prefetch_hits", "cache_cap"}, rows)
 }

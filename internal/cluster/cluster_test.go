@@ -81,6 +81,13 @@ func TestMsgCodecRoundTrip(t *testing.T) {
 		{Kind: KStealDone, From: 2, SP: packIncID(0, 0, 4)},
 		{Kind: KFlush, From: 1, Epoch: 2, Inc: 1},
 		{Kind: KAck, Round: 3, Epoch: 1, Sent: 4, Recv: 4, Replayed: 2, Flushed: true},
+		{Kind: KStealReq, From: 1, HotPages: []int64{packID(0, 1), 3, packID(2, 5), 0}},
+		{Kind: KAck, Round: 9, Sent: 8, Recv: 8, Hits: 40, Misses: 3,
+			Prefetches: 6, PrefetchHits: 4, CacheCapNow: 24},
+		{Kind: KJobStart, Job: 2, NumPEs: 4, PageElems: 8, DistThreshold: 16,
+			CachePages: 2, Steal: true, Heat: true, Prog: []byte("{}")},
+		{Kind: KSubmit, Job: 1, Seq: 7, Name: "triread", CachePages: 4, Heat: true,
+			Args: []isa.Value{isa.Int(26)}, Prog: []byte("p")},
 	}
 	for _, m := range msgs {
 		b := encodeMsg(nil, m)

@@ -196,6 +196,7 @@ func (h *fleetHost) startJob(ctx context.Context, m *Msg) {
 		trace:       m.Trace,
 		traceCap:    int(m.TraceCap),
 		traceSample: int(m.TraceSample),
+		heat:        m.Heat,
 	})
 	w.job = job
 	if m.Recover {
@@ -438,6 +439,7 @@ func jobStartMsg(cfg *Config, prog []byte, epoch int32, incs []int32) *Msg {
 		Trace:         cfg.Trace,
 		TraceCap:      int32(cfg.TraceCap),
 		TraceSample:   int32(cfg.TraceSample),
+		Heat:          cfg.Heat,
 		MaxInstrs:     cfg.MaxInstrs,
 		MaxElems:      cfg.MaxElems,
 		Epoch:         epoch,

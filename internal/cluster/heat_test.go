@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// Tests for the worker-side page-heat machinery: the adaptive-cap
+// governor's hysteresis, the page-granular steal-locality win over the
+// array-granular policy it replaced, the streaming prefetcher on a real
+// sequential-scan kernel, and the PODS_FORCE_PREFETCH escape hatch.
+
+// TestCapGovernorHysteresis pins the governor's movement rules: growth is
+// immediate and multiplicative under refetch pressure (capped at the
+// ceiling), shrinking needs capQuietRounds consecutive eviction-free
+// rounds (clamped at the floor), and rounds that evict without
+// refetching hold position — reacting to those is what would oscillate.
+func TestCapGovernorHysteresis(t *testing.T) {
+	type round struct {
+		refetch, evict int64
+		wantCap        int
+		wantChanged    bool
+	}
+	cases := []struct {
+		name   string
+		floor  int
+		rounds []round
+	}{
+		{"grow on refetch pressure", 4, []round{
+			{refetch: 1, evict: 3, wantCap: 6, wantChanged: true},
+			{refetch: 5, evict: 9, wantCap: 9, wantChanged: true},
+		}},
+		{"growth saturates at the ceiling", 2, []round{
+			{refetch: 1, wantCap: 3, wantChanged: true},
+			{refetch: 1, wantCap: 4, wantChanged: true},
+			{refetch: 1, wantCap: 6, wantChanged: true},
+			{refetch: 1, wantCap: 9, wantChanged: true},
+			{refetch: 1, wantCap: 13, wantChanged: true},
+			{refetch: 1, wantCap: 16, wantChanged: true},
+			{refetch: 1, wantCap: 16, wantChanged: false},
+		}},
+		{"shrink only after quiet hysteresis", 4, []round{
+			{refetch: 1, wantCap: 6, wantChanged: true},
+			{wantCap: 6, wantChanged: false}, // quiet 1
+			{wantCap: 6, wantChanged: false}, // quiet 2
+			{wantCap: 5, wantChanged: true},  // quiet 3: shrink, counter resets
+			{wantCap: 5, wantChanged: false},
+			{wantCap: 5, wantChanged: false},
+			{wantCap: 4, wantChanged: true}, // floor reached
+			{wantCap: 4, wantChanged: false},
+			{wantCap: 4, wantChanged: false},
+			{wantCap: 4, wantChanged: false}, // floor holds
+		}},
+		{"evictions without refetches hold position", 4, []round{
+			{refetch: 1, wantCap: 6, wantChanged: true},
+			{evict: 2, wantCap: 6, wantChanged: false},
+			{wantCap: 6, wantChanged: false},
+			{wantCap: 6, wantChanged: false},
+			{evict: 1, wantCap: 6, wantChanged: false}, // quiet run broken
+			{wantCap: 6, wantChanged: false},
+			{wantCap: 6, wantChanged: false},
+			{wantCap: 5, wantChanged: true},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := newCapGovernor(tc.floor)
+			if !g.enabled() {
+				t.Fatal("governor disabled for a positive floor")
+			}
+			for i, r := range tc.rounds {
+				cap, changed := g.tick(r.refetch, r.evict)
+				if cap != r.wantCap || changed != r.wantChanged {
+					t.Fatalf("round %d: tick(%d,%d) = (%d,%v), want (%d,%v)",
+						i, r.refetch, r.evict, cap, changed, r.wantCap, r.wantChanged)
+				}
+			}
+		})
+	}
+	// An unbounded cache (cap 0) disables the governor entirely.
+	g := newCapGovernor(0)
+	if g.enabled() {
+		t.Fatal("governor enabled for an unbounded cache")
+	}
+	if cap, changed := g.tick(100, 100); cap != 0 || changed {
+		t.Fatalf("disabled governor moved: (%d,%v)", cap, changed)
+	}
+}
+
+// TestPageGranularStealReducesPostStealFetches A/Bs the steal-grant
+// policies on the deterministic pumped schedule: the heat-off arm ranks
+// candidates by hot *arrays* (the policy as first shipped), the heat-on
+// arm by hot *pages* plus streaming prefetch. Same kernel, same
+// schedule, same steal pressure — the page-granular arm must pay fewer
+// demand fetches after its steals.
+func TestPageGranularStealReducesPostStealFetches(t *testing.T) {
+	k, ok := kernels.ByName("triread")
+	if !ok {
+		t.Fatal("triread kernel missing")
+	}
+	prog := compile(t, k.File(), k.Source)
+	const n, pes, cap = 26, 8, 8
+	off, err := StealFetchProbe(prog, k.Args(n), pes, cap, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := StealFetchProbe(prog, k.Args(n), pes, cap, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("heat off: %+v", off)
+	t.Logf("heat on:  %+v", on)
+	if off.Steals == 0 || on.Steals == 0 {
+		t.Fatalf("vacuous probe: steals off=%d on=%d", off.Steals, on.Steals)
+	}
+	if off.Prefetches != 0 {
+		t.Fatalf("heat-off arm issued %d prefetches", off.Prefetches)
+	}
+	if on.Prefetches == 0 || on.PrefetchHits == 0 {
+		t.Fatalf("heat-on arm never prefetched usefully: %d issued, %d hit", on.Prefetches, on.PrefetchHits)
+	}
+	if on.Misses >= off.Misses {
+		t.Fatalf("page-granular steal paid %d demand fetches, array-granular paid %d — no locality win", on.Misses, off.Misses)
+	}
+}
+
+// TestStreamingPrefetchOnSequentialScan runs matmul — row-major scans
+// over every operand — under a tight page cap and checks that the heat
+// arm streams pages ahead of the scan and that some of them serve demand
+// reads, while the heat-off arm issues none.
+func TestStreamingPrefetchOnSequentialScan(t *testing.T) {
+	k, ok := kernels.ByName("matmul")
+	if !ok {
+		t.Fatal("matmul kernel missing")
+	}
+	prog := compile(t, k.File(), k.Source)
+	// The A/B needs a genuine heat-off control arm even on the CI leg
+	// that forces PODS_FORCE_PREFETCH for everything else.
+	t.Setenv("PODS_FORCE_PREFETCH", "")
+	ctx := testCtx(t)
+	const n, pes = 16, 4
+	offRes, err := Execute(ctx, prog, Config{NumPEs: pes, CachePages: 2}, k.Args(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onRes, err := Execute(ctx, prog, Config{NumPEs: pes, CachePages: 2, Heat: true}, k.Args(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := offRes.Stats.Prefetches; got != 0 {
+		t.Fatalf("heat off: %d prefetches issued", got)
+	}
+	st := onRes.Stats
+	t.Logf("heat on: prefetches=%d hits=%d cacheHits=%d cacheMisses=%d capEnd=%d",
+		st.Prefetches, st.PrefetchHits, st.CacheHits, st.CacheMisses, st.CacheCapNow)
+	if st.Prefetches == 0 {
+		t.Fatal("heat on: sequential scans never triggered a prefetch")
+	}
+	if st.PrefetchHits == 0 {
+		t.Fatal("heat on: no prefetched page ever served a demand read")
+	}
+	if st.CacheCapNow < int64(2*pes) {
+		t.Fatalf("summed final cache cap %d below the configured floor %d", st.CacheCapNow, 2*pes)
+	}
+}
+
+// TestForcePrefetchEnvOverride: PODS_FORCE_PREFETCH turns the heat
+// machinery on for runs that left Config.Heat unset, mirroring the other
+// CI force knobs; an explicit config is never overridden (Heat has no
+// off-override to protect, so the env can only enable).
+func TestForcePrefetchEnvOverride(t *testing.T) {
+	t.Setenv("PODS_FORCE_PREFETCH", "1")
+	cfg := Config{NumPEs: 2}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Heat {
+		t.Fatal("Heat not forced on by PODS_FORCE_PREFETCH=1")
+	}
+	t.Setenv("PODS_FORCE_PREFETCH", "")
+	cfg = Config{NumPEs: 2}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Heat {
+		t.Fatal("Heat on without the env or the config asking for it")
+	}
+	t.Setenv("PODS_FORCE_PREFETCH", "0")
+	cfg = Config{NumPEs: 2}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Heat {
+		t.Fatal("PODS_FORCE_PREFETCH=0 enabled Heat")
+	}
+}

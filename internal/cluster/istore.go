@@ -144,11 +144,14 @@ func (w *worker) execRead(sp *spInst, ins *isa.Instr) (suspended bool) {
 
 	if v, _, hit := w.shard.CacheLookup(h.ID, h, off); hit {
 		w.shard.CacheHits++
+		w.notePrefetchHit(h.ID, h.PageOf(off))
 		sp.set(ins.Dst, v)
+		w.maybePrefetch(h, off)
 		return false
 	}
 	w.shard.CacheMisses++
 	w.rec(trace.EvPageFetch, h.ID, int64(h.PageOf(off)))
+	w.maybePrefetch(h, off)
 	if w.recover {
 		// Track the in-flight read so it can be re-issued if the owner is
 		// respawned before answering (the entry clears on delivery).
@@ -213,12 +216,43 @@ func (w *worker) ownerWrite(arr int64, off int, val isa.Value) {
 
 // handleReadReq serves a remote read at the owner: present elements ship
 // the whole containing page; absent elements queue a remote deferred read.
+// A prefetch hint (SP 0 — never a live instance ID) ships the page
+// snapshot as-is and never queues a waiter: nothing blocks on a prefetch,
+// so an unproductive hint must cost at most the request frame.
 func (w *worker) handleReadReq(m *Msg) {
 	if w.shard.Header(m.Arr) == nil {
 		w.pending[m.Arr] = append(w.pending[m.Arr], m)
 		return
 	}
 	off := int(m.Off)
+	if m.SP == 0 {
+		pageIdx, pg, _, err := w.shard.ExtractPage(m.Arr, off)
+		if err != nil {
+			return // page not owned here (stale hint): drop silently
+		}
+		any := false
+		for _, set := range pg.Set {
+			if set {
+				any = true
+				break
+			}
+		}
+		if !any {
+			// An all-absent snapshot would occupy a cache frame at the
+			// requester for nothing; the scan will re-ask via a demand
+			// read when it actually arrives at the page.
+			return
+		}
+		w.send(int(m.ReqPE), &Msg{
+			Kind: KPage,
+			Arr:  m.Arr,
+			Page: int32(pageIdx),
+			Off:  m.Off,
+			Vals: pg.Vals,
+			Set:  pg.Set,
+		})
+		return
+	}
 	if _, present := w.shard.Peek(m.Arr, off); present {
 		pageIdx, pg, _, err := w.shard.ExtractPage(m.Arr, off)
 		if err != nil {
@@ -258,6 +292,18 @@ func (w *worker) handlePage(m *Msg) {
 	}
 	pg := &istructure.CachedPage{Vals: m.Vals, Set: m.Set}
 	w.shard.InstallPage(m.Arr, int(m.Page), pg)
+	if w.heat.on {
+		delete(w.heat.inflight, heatKey{m.Arr, int(m.Page)})
+	}
+	if m.SP == 0 {
+		// A prefetched page: the install is the whole job. No element was
+		// requested, so neither the presence check nor a delivery applies;
+		// the first demand hit on the page credits the prefetch.
+		if w.heat.on {
+			w.heat.arrived[heatKey{m.Arr, int(m.Page)}] = struct{}{}
+		}
+		return
+	}
 	i := int(m.Off) - int(m.Page)*h.PageElems
 	if i < 0 || i >= len(pg.Vals) || !pg.Set[i] {
 		w.fail(fmt.Errorf("page %d of array %d shipped without requested element", m.Page, m.Arr))

@@ -27,6 +27,9 @@ var (
 	mEvicts  = expvar.NewInt("pods_evictions_total")
 	mReplays = expvar.NewInt("pods_replayed_total")
 
+	mPrefetches   = expvar.NewInt("pods_prefetches_total")
+	mPrefetchHits = expvar.NewInt("pods_prefetch_hits_total")
+
 	// Job-service counters, maintained by Fleet.Submit: jobs running now,
 	// jobs ever admitted, and jobs bounced by admission control.
 	mJobsActive   = expvar.NewInt("pods_jobs_active")
@@ -38,6 +41,7 @@ var (
 // process-wide metrics, so each probe publishes only the delta.
 type pubCounters struct {
 	instrs, msgs, steals, hits, misses, evicts, replays int64
+	prefetches, prefetchHits                            int64
 }
 
 // publishMetrics folds this worker's counter growth since the previous
@@ -60,6 +64,8 @@ func (w *worker) publishMetrics() {
 	mMisses.Add(delta(w.shard.CacheMisses, &w.pub.misses))
 	mEvicts.Add(delta(w.shard.Evictions, &w.pub.evicts))
 	mReplays.Add(delta(w.replayed, &w.pub.replays))
+	mPrefetches.Add(delta(w.heat.prefetches, &w.pub.prefetches))
+	mPrefetchHits.Add(delta(w.heat.prefetchHits, &w.pub.prefetchHits))
 	mAcks.Add(1)
 }
 

@@ -358,6 +358,13 @@ type Msg struct {
 	Flushed    bool  // epoch flush markers held from every peer (ack)
 	QDepth     int64 // ready-queue depth at the probe (ack)
 
+	// Page-heat counters (ack): prefetches issued, prefetched pages that
+	// served a demand read, and the shard's current (possibly adapted)
+	// cache cap.
+	Prefetches   int64
+	PrefetchHits int64
+	CacheCapNow  int64
+
 	// Adaptive repartitioning (spawn, costReport, rebound). A migrating
 	// SP's cost tag travels per StealItem in the grant batch.
 	Sweep int64   // fan-out identity of a distributed spawn (spawn, costReport)
@@ -369,8 +376,9 @@ type Msg struct {
 	Cuts  []int64 // per-PE last-iteration cut points (rebound)
 
 	// Work stealing (stealReq, stealGrant).
-	Hot   []int64     // thief's hot-array summary (stealReq)
-	Batch []StealItem // granted SP instances, locality-preferred order (stealGrant)
+	Hot      []int64     // thief's hot-array summary (stealReq, legacy mode)
+	HotPages []int64     // thief's hot-page summary as (array, page) pairs (stealReq, heat mode)
+	Batch    []StealItem // granted SP instances, locality-preferred order (stealGrant)
 
 	// Worker configuration (init) and recovery announcements (recover).
 	// Incs is the full per-PE incarnation vector; Recover enables the
@@ -402,6 +410,14 @@ type Msg struct {
 	// element budget, fails its job — only that job.
 	MaxInstrs int64
 	MaxElems  int64
+
+	// Heat (init block) enables the unified page-heat machinery on the
+	// receiving worker: page-granular steal summaries, streaming
+	// prefetch, the adaptive cache cap, and rebind migration. A versioned
+	// knob: both sides of a job agree on the KStealReq.Hot/HotPages
+	// semantics because the same KJobStart/KSubmit frame that starts the
+	// job carries it.
+	Heat bool
 }
 
 // StealItem is one SP instance migrating inside a KStealGrant batch: its
@@ -443,7 +459,8 @@ func (k MsgKind) hasRecoverBlock() bool {
 }
 
 // hasStealBlock reports whether the kind carries the work-stealing fields
-// (Hot, Batch) on the wire, gated the same way as the adapt block.
+// (Hot, HotPages, Batch) on the wire, gated the same way as the adapt
+// block.
 func (k MsgKind) hasStealBlock() bool {
 	switch k {
 	case KStealReq, KStealGrant:
@@ -587,6 +604,9 @@ func encodeMsg(b []byte, m *Msg) []byte {
 			b = append(b, 0)
 		}
 		b = appendI64(b, m.QDepth)
+		b = appendI64(b, m.Prefetches)
+		b = appendI64(b, m.PrefetchHits)
+		b = appendI64(b, m.CacheCapNow)
 	}
 	if m.Kind.hasAdaptBlock() {
 		b = appendI64(b, m.Sweep)
@@ -603,6 +623,7 @@ func encodeMsg(b []byte, m *Msg) []byte {
 	}
 	if m.Kind.hasStealBlock() {
 		b = appendI64s(b, m.Hot)
+		b = appendI64s(b, m.HotPages)
 		b = appendU32(b, uint32(len(m.Batch)))
 		for i := range m.Batch {
 			it := &m.Batch[i]
@@ -661,6 +682,11 @@ func encodeMsg(b []byte, m *Msg) []byte {
 		b = appendI32(b, m.TraceSample)
 		b = appendI64(b, m.MaxInstrs)
 		b = appendI64(b, m.MaxElems)
+		if m.Heat {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
 	}
 	if m.Kind.hasTraceBlock() {
 		b = appendI64s(b, m.TraceEvs)
@@ -819,6 +845,9 @@ func decodeMsg(b []byte) (*Msg, error) {
 		m.Replayed = r.i64()
 		m.Flushed = r.u8() != 0
 		m.QDepth = r.i64()
+		m.Prefetches = r.i64()
+		m.PrefetchHits = r.i64()
+		m.CacheCapNow = r.i64()
 	}
 	if m.Kind.hasAdaptBlock() {
 		m.Sweep = r.i64()
@@ -831,6 +860,7 @@ func decodeMsg(b []byte) (*Msg, error) {
 	}
 	if m.Kind.hasStealBlock() {
 		m.Hot = r.i64s()
+		m.HotPages = r.i64s()
 		// Minimum wire size of one item: the five fixed scalars plus two
 		// empty slice-length prefixes.
 		if n := r.sliceLen(40); n > 0 {
@@ -879,6 +909,7 @@ func decodeMsg(b []byte) (*Msg, error) {
 		m.TraceSample = r.i32()
 		m.MaxInstrs = r.i64()
 		m.MaxElems = r.i64()
+		m.Heat = r.u8() != 0
 	}
 	if m.Kind.hasTraceBlock() {
 		m.TraceEvs = r.i64s()

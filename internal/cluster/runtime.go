@@ -26,6 +26,9 @@ type Stats struct {
 	Recoveries    int64 // worker deaths survived by respawn + replay (Config.Recover)
 	ReplayedSPs   int64 // root assignments replayed against replacement workers
 	Checkpoints   int64 // completed replay-log GC checkpoints (Recover+Adapt)
+	Prefetches    int64 // pages requested ahead of the miss (Config.Heat)
+	PrefetchHits  int64 // prefetched pages that later served a demand read
+	CacheCapNow   int64 // final resident-page budget, summed over PEs (adaptive cap)
 }
 
 // PEStat is one worker's counter breakdown from its final probe answer —
@@ -42,6 +45,9 @@ type PEStat struct {
 	Steals        int64
 	Forwards      int64
 	Replayed      int64
+	Prefetches    int64
+	PrefetchHits  int64
+	CacheCapNow   int64
 }
 
 // gathered is one assembled array after a run. raw keeps the wire values

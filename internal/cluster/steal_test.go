@@ -712,7 +712,7 @@ func TestStealMidDequeGrantNoShift(t *testing.T) {
 	// grant must skip it and take the next-oldest.
 	started, third := w0.ready[0], w0.ready[2]
 	started.pc = 1
-	batch := w0.stealBatch(nil)
+	batch := w0.stealBatch(nil, nil)
 	if len(batch) != 1 || batch[0].id != packID(0, 2) {
 		t.Fatalf("batch = %v, want exactly the second SP", batch)
 	}
@@ -748,7 +748,7 @@ func TestReadyDequeBoundedGrowth(t *testing.T) {
 	spawn()
 	for round := 0; round < 10_000; round++ {
 		spawn() // two live SPs queued, never fully drained
-		if got := w0.stealBatch(nil); len(got) != 1 {
+		if got := w0.stealBatch(nil, nil); len(got) != 1 {
 			t.Fatalf("round %d: stole %d SPs, want 1", round, len(got))
 		}
 		if dead := w0.readyHead + w0.readyNil; dead > len(w0.ready) {

@@ -34,6 +34,10 @@ type ackState struct {
 	replayed   int64
 	flushed    bool
 	qdepth     int64
+
+	prefetches   int64
+	prefetchHits int64
+	capNow       int64
 }
 
 // detector accumulates probe rounds and decides termination.
@@ -89,6 +93,7 @@ func (d *detector) record(pe int, m *Msg) bool {
 		steals: m.Steals, forwards: m.Forwards, instrs: m.Instrs,
 		evicts: m.Evicts, refetches: m.Refetches, replayed: m.Replayed,
 		flushed: m.Flushed, qdepth: m.QDepth,
+		prefetches: m.Prefetches, prefetchHits: m.PrefetchHits, capNow: m.CacheCapNow,
 	}
 	d.got++
 	return d.got == len(d.acks)
@@ -162,6 +167,11 @@ func (d *detector) stats() Stats {
 		s.Steals += a.steals
 		s.Forwards += a.forwards
 		s.ReplayedSPs += a.replayed
+		s.Prefetches += a.prefetches
+		s.PrefetchHits += a.prefetchHits
+		// Summed across PEs: the cluster-wide resident-page budget at the
+		// last ack (each PE reports its own current CachePages bound).
+		s.CacheCapNow += a.capNow
 	}
 	return s
 }
@@ -206,6 +216,8 @@ func (d *detector) perPEStats() []PEStat {
 			DeferredReads: a.deferred, CacheHits: a.hits, CacheMisses: a.misses,
 			Evictions: a.evicts, Refetches: a.refetches,
 			Steals: a.steals, Forwards: a.forwards, Replayed: a.replayed,
+			Prefetches: a.prefetches, PrefetchHits: a.prefetchHits,
+			CacheCapNow: a.capNow,
 		}
 	}
 	return out

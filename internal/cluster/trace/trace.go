@@ -62,6 +62,16 @@ const (
 	// EvProbe: a termination probe was answered. Arg0 = round,
 	// Arg1 = ready-queue depth at the probe.
 	EvProbe
+
+	// EvPrefetch: the heat machinery asked a page's owner for it ahead of
+	// the miss (streaming scan or rebind migration). Arg0 = array id,
+	// Arg1 = page index.
+	EvPrefetch
+
+	// EvCacheResize: the adaptive governor moved the shard's CachePages
+	// bound. Arg0 = the new cap, Arg1 = the probe round's refetch delta
+	// that drove it (0 for a quiet-round shrink).
+	EvCacheResize
 )
 
 func (k Kind) String() string {
@@ -88,6 +98,10 @@ func (k Kind) String() string {
 		return "epoch"
 	case EvProbe:
 		return "probe"
+	case EvPrefetch:
+		return "prefetch"
+	case EvCacheResize:
+		return "cache-resize"
 	default:
 		return "ev?"
 	}

@@ -227,6 +227,11 @@ type worker struct {
 	costAcc   map[costKey]int64
 	nextSweep int64
 
+	// heat is the worker-side page-heat machinery (Config.Heat): the
+	// prefetch dedup and credit tables, the adaptive-cap governor, and
+	// the prefetch counters. See heat.go.
+	heat heatState
+
 	// sliceSteps counts step() calls since the last cooperative yield.
 	sliceSteps int
 
@@ -330,6 +335,9 @@ func newWorker(pe, n int, geo rtcfg.Geometry, prog *isa.Program, ep Endpoint, op
 		stealVictim: pe, // first attempt targets (pe+1) mod n
 	}
 	w.shard.CacheCap = opts.cachePages
+	if opts.heat {
+		w.heat = newHeatState(opts.cachePages)
+	}
 	if opts.trace {
 		w.tr = trace.New(opts.traceCap, opts.traceSample)
 		// The shard's eviction point is the one place a cached page dies;
@@ -589,25 +597,34 @@ func (w *worker) maybeSteal() {
 	}
 	w.stealOutstanding = true
 	w.rec(trace.EvStealReq, int64(w.stealVictim), 0)
-	// The request advertises which arrays are hot here (resident cached
-	// pages), so the victim can prefer granting SPs whose operands this
-	// worker already holds — a stolen iteration that reads a hot array
-	// pays cache hits instead of fresh page fetches.
-	w.send(w.stealVictim, &Msg{Kind: KStealReq, Hot: w.shard.HotArrays(stealHotMax)})
+	// The request advertises what is hot here, so the victim can prefer
+	// granting SPs whose operands this worker already holds — a stolen
+	// iteration that reads a hot operand pays cache hits instead of fresh
+	// page fetches. In heat mode the summary is page-granular (it can
+	// tell apart iterations of a single shared array); otherwise it is
+	// the legacy array-granular list.
+	req := &Msg{Kind: KStealReq}
+	if w.heat.on {
+		req.HotPages = w.hotPagePairs(stealHotMax)
+	} else {
+		req.Hot = w.shard.HotArrays(stealHotMax)
+	}
+	w.send(w.stealVictim, req)
 }
 
 // stealHotMax caps the hot-array summary a steal request carries.
 const stealHotMax = 16
 
 // stealBatch selects and removes up to half of the stealable backlog for a
-// thief whose hot-array summary is hot: nil when the victim is unloaded
-// (fewer than two live entries — it must stay loaded after granting) or
-// holds only in-flight SPs. Selection prefers SPs whose operand-frame
-// arrays are resident at the thief (more hot operands first) and is stable
-// within equal locality, so with no locality signal the grant is the
-// oldest not-yet-started SPs in age order — for a loop nest, whole outer
-// iterations rather than inner fragments. Removal never shifts the deque:
-// the bottom entry advances readyHead, mid-deque entries become nil
+// thief whose locality summary is hot (array-granular) or hotPages
+// (page-granular (array, page) pairs, heat mode): nil when the victim is
+// unloaded (fewer than two live entries — it must stay loaded after
+// granting) or holds only in-flight SPs. Selection prefers SPs whose
+// operands are resident at the thief (more hot operands first) and is
+// stable within equal locality, so with no locality signal the grant is
+// the oldest not-yet-started SPs in age order — for a loop nest, whole
+// outer iterations rather than inner fragments. Removal never shifts the
+// deque: the bottom entry advances readyHead, mid-deque entries become nil
 // tombstones (amortized O(1) per grant, reclaimed by compactReady).
 //
 // Distributed (Range-Filtered) templates are pinned: their ROWLO/UNIFLO/…
@@ -615,7 +632,7 @@ const stealHotMax = 16
 // responsibility, so running one on a different PE would recompute that
 // PE's share — a double write, not a migration. Everything else is
 // location-independent: its inputs travel in the operand frame.
-func (w *worker) stealBatch(hot []int64) []*spInst {
+func (w *worker) stealBatch(hot, hotPages []int64) []*spInst {
 	live := len(w.ready) - w.readyHead - w.readyNil
 	if live < 2 {
 		return nil
@@ -648,27 +665,39 @@ func (w *worker) stealBatch(hot []int64) []*spInst {
 	if w.stealOne {
 		// Legacy PR 2 policy for A/B comparisons: one SP, oldest first,
 		// locality-blind.
-		limit, hot = 1, nil
+		limit, hot, hotPages = 1, nil, nil
 	}
-	if len(hot) > 0 && len(cand) > 1 {
-		hotSet := make(map[int64]struct{}, len(hot))
-		for _, id := range hot {
-			hotSet[id] = struct{}{}
-		}
+	if (len(hot) > 0 || len(hotPages) > 1) && len(cand) > 1 {
 		// Score each candidate once (the comparator would otherwise
 		// rescan every operand frame O(log k) times per candidate).
 		scores := make(map[int]int, len(cand))
-		for _, idx := range cand {
-			sp := w.ready[idx]
-			n := 0
-			for s, v := range sp.frame {
-				if sp.present[s] && v.Kind == isa.KindArray {
-					if _, ok := hotSet[v.I]; ok {
-						n++
+		if len(hotPages) > 1 {
+			// Page-granular (heat mode): rank by the operand rows the
+			// thief actually holds.
+			pageSet := make(map[heatKey]struct{}, len(hotPages)/2)
+			for i := 0; i+1 < len(hotPages); i += 2 {
+				pageSet[heatKey{hotPages[i], int(hotPages[i+1])}] = struct{}{}
+			}
+			for _, idx := range cand {
+				scores[idx] = w.pageScore(w.ready[idx], pageSet)
+			}
+		} else {
+			hotSet := make(map[int64]struct{}, len(hot))
+			for _, id := range hot {
+				hotSet[id] = struct{}{}
+			}
+			for _, idx := range cand {
+				sp := w.ready[idx]
+				n := 0
+				for s, v := range sp.frame {
+					if sp.present[s] && v.Kind == isa.KindArray {
+						if _, ok := hotSet[v.I]; ok {
+							n++
+						}
 					}
 				}
+				scores[idx] = n
 			}
-			scores[idx] = n
 		}
 		sort.SliceStable(cand, func(i, j int) bool {
 			return scores[cand[i]] > scores[cand[j]]
@@ -703,7 +732,7 @@ func (w *worker) handleStealReq(m *Msg) {
 	}
 	var batch []*spInst
 	if !w.failed {
-		batch = w.stealBatch(m.Hot)
+		batch = w.stealBatch(m.Hot, m.HotPages)
 	}
 	if len(batch) == 0 {
 		w.send(thief, &Msg{Kind: KStealNone})
@@ -1064,25 +1093,41 @@ func (w *worker) handle(m *Msg) {
 		// time it evaluates the round, so a rebind decision made at a
 		// round boundary never misses costs the round's acks imply.
 		w.flushCosts()
+		// The adaptive cache cap ticks on the probe cadence: the round's
+		// refetch and eviction deltas are the pressure signal, and a cap
+		// move takes effect immediately (growth) or at the next install
+		// (shrink, via InstallPage's shrink loop).
+		if w.heat.on && w.heat.gov.enabled() {
+			rd := w.shard.Refetches - w.heat.lastRefetches
+			ed := w.shard.Evictions - w.heat.lastEvicts
+			w.heat.lastRefetches, w.heat.lastEvicts = w.shard.Refetches, w.shard.Evictions
+			if cap, changed := w.heat.gov.tick(rd, ed); changed {
+				w.shard.CacheCap = cap
+				w.rec(trace.EvCacheResize, int64(cap), rd)
+			}
+		}
 		w.rec(trace.EvProbe, int64(m.Round), w.qdepth())
 		w.publishMetrics()
 		w.send(w.driverID(), &Msg{
-			Kind:      KAck,
-			Round:     m.Round,
-			Sent:      w.sent,
-			Recv:      w.recv,
-			Live:      int32(len(w.insts)),
-			Deferred:  w.shard.DeferredReads,
-			Hits:      w.shard.CacheHits,
-			Misses:    w.shard.CacheMisses,
-			Steals:    w.steals,
-			Forwards:  w.forwarded,
-			Instrs:    w.instrs,
-			Evicts:    w.shard.Evictions,
-			Refetches: w.shard.Refetches,
-			Replayed:  w.replayed,
-			Flushed:   w.epochFlushed(),
-			QDepth:    w.qdepth(),
+			Kind:         KAck,
+			Round:        m.Round,
+			Sent:         w.sent,
+			Recv:         w.recv,
+			Live:         int32(len(w.insts)),
+			Deferred:     w.shard.DeferredReads,
+			Hits:         w.shard.CacheHits,
+			Misses:       w.shard.CacheMisses,
+			Steals:       w.steals,
+			Forwards:     w.forwarded,
+			Instrs:       w.instrs,
+			Evicts:       w.shard.Evictions,
+			Refetches:    w.shard.Refetches,
+			Replayed:     w.replayed,
+			Flushed:      w.epochFlushed(),
+			QDepth:       w.qdepth(),
+			Prefetches:   w.heat.prefetches,
+			PrefetchHits: w.heat.prefetchHits,
+			CacheCapNow:  int64(w.shard.CacheCap),
 		})
 
 	case KStealReq:
@@ -1105,8 +1150,13 @@ func (w *worker) handle(m *Msg) {
 		if w.cuts == nil {
 			w.cuts = make(map[int][]int64)
 		}
+		old := w.cuts[int(m.Tmpl)]
 		w.cuts[int(m.Tmpl)] = m.Cuts
 		w.rec(trace.EvRebound, int64(m.Tmpl), 0)
+		// Heat mode: iterations gained by the new cut prefetch their rows'
+		// pages now, so the adapted copies start warm instead of paying a
+		// cold remote fetch each.
+		w.migrateHotPages(old, m.Cuts)
 
 	case KRecover:
 		w.applyRecover(m)
@@ -1380,6 +1430,9 @@ func (w *worker) header(sp *spInst, slot int) *istructure.Header {
 // chain down before touching older siblings, which both bounds the live
 // frontier and keeps untouched SPs at the bottom for thieves.
 func (w *worker) step() {
+	// The shard's heat table stamps last-touch times with this worker's
+	// instruction counter — deterministic per PE, monotone per step.
+	w.shard.Now = w.instrs
 	var sp *spInst
 	for sp == nil {
 		if w.readyHead == len(w.ready) {

@@ -37,11 +37,24 @@ type RemoteWaiter struct {
 type Shard struct {
 	PE     int
 	arrays map[int64]*localArray
-	cache  map[int64]map[int]*cacheSlot
+
+	// heat is the unified page-heat table (see heat.go): one entry per
+	// (array, page) this shard has touched, holding cache residency, the
+	// reference/heat counter, the last-touch stamp, the sequential-run
+	// length, and the eviction generation. CLOCK eviction, refetch
+	// detection, steal-locality summaries, and the prefetch scan
+	// detector are all views over this table.
+	heat map[pageKey]*pageStat
+
+	// Now is the caller-maintained instruction stamp used for the heat
+	// table's last-touch times (the worker sets it to its executed
+	// instruction count, giving deterministic stamps per PE).
+	Now int64
 
 	// CacheCap bounds the number of resident cached remote pages; 0 means
 	// unbounded (the pre-eviction behavior). Set it before any page is
-	// installed.
+	// installed. It may be raised or lowered mid-run (the adaptive cap
+	// does); a lowered cap takes effect at the next page install.
 	CacheCap int
 
 	// Idempotent tolerates a second write of the *identical* value to an
@@ -60,22 +73,24 @@ type Shard struct {
 	OnEvict func(arr int64, page int)
 
 	// clock is the CLOCK ring over resident cached pages: hand sweeps it
-	// clearing reference bits until it finds an unreferenced victim. New
-	// pages enter unreferenced, so a page that is never probed again after
-	// its install is the first to go.
+	// clearing reference bits until it finds an unreferenced victim. The
+	// reference bits themselves live in the heat table (referenced iff
+	// heat > sweep). New pages enter unreferenced, so a page that is
+	// never probed again after its install is the first to go.
 	clock []*cacheSlot
 	hand  int
 
-	// evicted / evictedPrev record pages that were evicted recently, so a
-	// later re-install of the same page counts as a refetch (the price of
-	// the bound) rather than a first fetch. The record itself must not
-	// undo the memory bound, so it is generational: when the current
-	// generation reaches evictedGen entries it becomes the previous one
-	// and the oldest generation is dropped — memory stays O(evictedGen),
-	// at the cost of undercounting refetches whose reuse distance exceeds
-	// two generations (a statistic, never correctness).
-	evicted     map[pageKey]struct{}
-	evictedPrev map[pageKey]struct{}
+	// evictGen / evictGenCount implement the refetch window over the
+	// heat table: each eviction stamps its entry with the current
+	// generation, and a re-install counts as a refetch if the stamp is
+	// within the last two generations (evictedGen evictions each) —
+	// the same window the old paired eviction maps gave. Rotating a
+	// generation also prunes heat entries that have aged out of the
+	// window, so the table stays bounded at the cost of undercounting
+	// refetches whose reuse distance exceeds two generations (a
+	// statistic, never correctness).
+	evictGen      int64
+	evictGenCount int
 
 	// Stats.
 	DeferredReads int64 // reads enqueued on absent local elements
@@ -92,12 +107,13 @@ type pageKey struct {
 	page int
 }
 
-// cacheSlot is one resident cached page plus its CLOCK reference bit.
+// cacheSlot is one resident cached page — a frame of the CLOCK ring. Its
+// reference state lives in the heat-table entry it points back to.
 type cacheSlot struct {
 	arr  int64
 	page int
 	pg   *CachedPage
-	ref  bool
+	st   *pageStat
 }
 
 type localArray struct {
@@ -124,10 +140,9 @@ type CachedPage struct {
 // NewShard returns an empty shard for a PE.
 func NewShard(pe int) *Shard {
 	return &Shard{
-		PE:      pe,
-		arrays:  make(map[int64]*localArray),
-		cache:   make(map[int64]map[int]*cacheSlot),
-		evicted: make(map[pageKey]struct{}),
+		PE:     pe,
+		arrays: make(map[int64]*localArray),
+		heat:   make(map[pageKey]*pageStat),
 	}
 }
 
@@ -196,6 +211,10 @@ func (s *Shard) ReadLocal(id int64, off int, w Waiter) (isa.Value, ReadResult, e
 	if i < 0 || i >= len(a.vals) {
 		return isa.Value{}, ReadRemote, nil
 	}
+	// Owned-segment accesses feed the heat table too: an owned page a PE
+	// keeps reading is exactly the locality a page-granular steal summary
+	// should advertise.
+	s.touchPage(id, a.h.PageOf(off)).owned = true
 	if a.set[i] {
 		return a.vals[i], ReadHit, nil
 	}
@@ -319,28 +338,31 @@ func (s *Shard) ExtractPage(id int64, off int) (pageIdx int, pg *CachedPage, ele
 // the CLOCK sweep; re-installing a previously evicted page counts as a
 // refetch.
 func (s *Shard) InstallPage(id int64, pageIdx int, pg *CachedPage) {
-	m := s.cache[id]
-	if m == nil {
-		m = make(map[int]*cacheSlot)
-		s.cache[id] = m
-	}
-	if slot := m[pageIdx]; slot != nil {
+	k := pageKey{id, pageIdx}
+	e := s.heat[k]
+	if e != nil && e.slot != nil {
 		// A fuller snapshot of an already-resident page: refresh in place.
 		// The touch counts as a reference — the page is demonstrably live.
-		slot.pg = pg
-		slot.ref = true
+		e.slot.pg = pg
+		e.heat++
+		e.touch = s.Now
 		return
 	}
-	key := pageKey{id, pageIdx}
-	if _, was := s.evicted[key]; was {
-		s.Refetches++
-	} else if _, was := s.evictedPrev[key]; was {
+	if e == nil {
+		e = &pageStat{}
+		s.heat[k] = e
+	}
+	if e.evicted && e.gen >= s.evictGen-1 {
 		s.Refetches++
 	}
-	slot := &cacheSlot{arr: id, page: pageIdx, pg: pg}
+	slot := &cacheSlot{arr: id, page: pageIdx, pg: pg, st: e}
+	e.slot = slot
+	// Enter unreferenced: any touches the demand miss itself recorded must
+	// not count as a post-install reference (the old ring's ref=false).
+	e.sweep = e.heat
 	if s.CacheCap > 0 && len(s.clock) >= s.CacheCap {
-		// A cap lowered mid-run (rare) shrinks the ring first, O(1) per
-		// page by moving the last slot into the vacated frame.
+		// A cap lowered mid-run shrinks the ring first, O(1) per page by
+		// moving the last slot into the vacated frame.
 		for len(s.clock) > s.CacheCap {
 			i := s.victim()
 			s.evictAt(i)
@@ -358,20 +380,21 @@ func (s *Shard) InstallPage(id int64, pageIdx int, pg *CachedPage) {
 	} else {
 		s.clock = append(s.clock, slot)
 	}
-	m[pageIdx] = slot
 }
 
 // victim runs the CLOCK hand until it finds an unreferenced resident page
 // and returns its frame index: referenced pages get their bit cleared and a
-// second chance. Terminates because each pass clears bits, so the second
-// sweep must stop. Only called with a non-empty ring.
+// second chance. The reference bit is the heat table's heat-since-sweep
+// delta; clearing it records the current heat as seen. Terminates because
+// each pass clears bits, so the second sweep must stop. Only called with a
+// non-empty ring.
 func (s *Shard) victim() int {
 	for {
 		if s.hand >= len(s.clock) {
 			s.hand = 0
 		}
-		if s.clock[s.hand].ref {
-			s.clock[s.hand].ref = false
+		if e := s.clock[s.hand].st; e.heat > e.sweep {
+			e.sweep = e.heat
 			s.hand++
 			continue
 		}
@@ -379,22 +402,30 @@ func (s *Shard) victim() int {
 	}
 }
 
-// evictedGen bounds one generation of the refetch-detection record.
+// evictedGen bounds one generation of the refetch-detection window.
 const evictedGen = 8192
 
-// evictAt evicts the resident page in frame i from the cache maps and
-// counts it; the caller reuses or removes the frame itself.
+// evictAt evicts the resident page in frame i: its heat entry loses its
+// slot and gains an eviction-generation stamp for refetch detection. The
+// caller reuses or removes the frame itself. Rotating into a new
+// generation prunes heat entries that aged out of the refetch window, so
+// the table's non-resident population stays bounded.
 func (s *Shard) evictAt(i int) {
 	slot := s.clock[i]
-	delete(s.cache[slot.arr], slot.page)
-	if len(s.cache[slot.arr]) == 0 {
-		delete(s.cache, slot.arr)
+	e := slot.st
+	e.slot = nil
+	e.evicted = true
+	e.gen = s.evictGen
+	s.evictGenCount++
+	if s.evictGenCount >= evictedGen {
+		s.evictGen++
+		s.evictGenCount = 0
+		for k, st := range s.heat {
+			if st.slot == nil && !st.owned && st.gen < s.evictGen-1 {
+				delete(s.heat, k)
+			}
+		}
 	}
-	if len(s.evicted) >= evictedGen {
-		s.evictedPrev = s.evicted
-		s.evicted = make(map[pageKey]struct{}, evictedGen)
-	}
-	s.evicted[pageKey{slot.arr, slot.page}] = struct{}{}
 	s.Evictions++
 	if s.OnEvict != nil {
 		s.OnEvict(slot.arr, slot.page)
@@ -406,20 +437,18 @@ func (s *Shard) evictAt(i int) {
 func (s *Shard) CachedPages() int { return len(s.clock) }
 
 // CacheLookup probes the software cache for an element. hitPage reports the
-// page being cached at all; hitElem that the element was present in it. A
-// probe that finds the page marks it referenced for the CLOCK sweep.
+// page being cached at all; hitElem that the element was present in it.
+// Every probe — hit or miss — touches the heat table (feeding the scan
+// detector); a probe that finds the page resident thereby marks it
+// referenced for the CLOCK sweep.
 func (s *Shard) CacheLookup(id int64, h *Header, off int) (v isa.Value, hitPage, hitElem bool) {
-	m := s.cache[id]
-	if m == nil {
+	page := h.PageOf(off)
+	e := s.touchPage(id, page)
+	if e.slot == nil {
 		return isa.Value{}, false, false
 	}
-	slot := m[h.PageOf(off)]
-	if slot == nil {
-		return isa.Value{}, false, false
-	}
-	slot.ref = true
-	pg := slot.pg
-	i := off - h.PageOf(off)*h.PageElems
+	pg := e.slot.pg
+	i := off - page*h.PageElems
 	if i < 0 || i >= len(pg.Vals) || !pg.Set[i] {
 		return isa.Value{}, true, false
 	}
@@ -444,16 +473,20 @@ func (s *Shard) HotArrays(limit int) []int64 {
 		home  bool
 		pages int
 	}
-	hs := make([]hot, 0, len(s.cache))
+	hs := make([]hot, 0, len(s.arrays))
 	for id, a := range s.arrays {
 		if !a.h.Dist && a.h.Origin == s.PE {
 			hs = append(hs, hot{id: id, home: true})
 		}
 	}
-	for id, m := range s.cache {
-		if len(m) > 0 {
-			hs = append(hs, hot{id: id, pages: len(m)})
+	resident := make(map[int64]int)
+	for k, e := range s.heat {
+		if e.slot != nil {
+			resident[k.arr]++
 		}
+	}
+	for id, pages := range resident {
+		hs = append(hs, hot{id: id, pages: pages})
 	}
 	sort.Slice(hs, func(i, j int) bool {
 		if hs[i].home != hs[j].home {
